@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction benches.
+ *
+ * Every bench prints the paper-style rows/series for its table or
+ * figure. Experiment sizes are scaled-down versions of the paper's
+ * multi-hour campaigns; set RHO_BENCH_SCALE (default 1.0, e.g. 0.25
+ * for a quick pass or 4 for a longer one) to rescale budgets.
+ */
+
+#ifndef RHO_BENCH_BENCH_UTIL_HH
+#define RHO_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace rho::bench
+{
+
+/** Global budget multiplier from RHO_BENCH_SCALE. */
+inline double
+scale()
+{
+    static const double s = [] {
+        const char *env = std::getenv("RHO_BENCH_SCALE");
+        double v = env ? std::atof(env) : 1.0;
+        return v > 0.0 ? v : 1.0;
+    }();
+    return s;
+}
+
+/** Scaled integer budget. */
+inline std::uint64_t
+scaled(std::uint64_t base)
+{
+    auto v = static_cast<std::uint64_t>(base * scale());
+    return v > 0 ? v : 1;
+}
+
+/** Bench banner with the paper artifact being reproduced. */
+inline void
+banner(const std::string &id, const std::string &what)
+{
+    std::printf("=== %s: %s ===\n", id.c_str(), what.c_str());
+    std::printf("(scaled reproduction; RHO_BENCH_SCALE=%.2f)\n\n",
+                scale());
+    setVerbose(false);
+}
+
+} // namespace rho::bench
+
+#endif // RHO_BENCH_BENCH_UTIL_HH

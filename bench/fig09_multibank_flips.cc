@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 9: overall fuzzing effectiveness (total bit flips) of
+ * load-based vs prefetch-based hammering across 1-4 banks on all four
+ * architectures. Prefetch runs use rhoHammer's counter-speculation
+ * (the paradigm under evaluation); loads run as the classic baseline.
+ */
+
+#include "bench_util.hh"
+#include "hammer/pattern_fuzzer.hh"
+#include "hammer/tuned_configs.hh"
+
+using namespace rho;
+
+int
+main()
+{
+    bench::banner("Fig. 9",
+                  "total fuzzing flips: load vs prefetch x 1-4 banks "
+                  "x 4 archs (DIMM S3)");
+
+    FuzzParams params;
+    params.numPatterns = static_cast<unsigned>(bench::scaled(10));
+    params.locationsPerPattern = 2;
+    std::uint64_t budget = bench::scaled(400000);
+
+    TextTable table({"arch", "instr", "1 bank", "2 banks", "3 banks",
+                     "4 banks"});
+    for (Arch arch : allArchs) {
+        for (bool prefetch : {false, true}) {
+            std::vector<std::string> row = {
+                archName(arch), prefetch ? "prefetch" : "load"};
+            for (unsigned banks = 1; banks <= 4; ++banks) {
+                MemorySystem sys(arch, DimmProfile::byId("S3"),
+                                 TrrConfig{}, 10);
+                HammerSession session(sys, 10);
+                PatternFuzzer fuzzer(session, 11);
+                HammerConfig cfg = prefetch
+                    ? rhoConfig(arch, true, budget)
+                    : baselineConfig(arch, true, budget);
+                cfg.numBanks = banks;
+                auto res = fuzzer.run(cfg, params);
+                row.push_back(std::to_string(res.totalFlips));
+            }
+            table.addRow(row);
+        }
+    }
+    table.print();
+    std::puts("\nShape: prefetch beats load everywhere; load flips "
+              "collapse with more banks; on Alder/Raptor Lake loads "
+              "produce ~none at any bank count.");
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Figure 11: cumulative bit flips over iterative sweeping of the best
+ * pattern on the four architectures (rhoHammer vs the load baseline),
+ * plus the average flip rates and speedups reported in section 5.3.
+ */
+
+#include "bench_util.hh"
+#include "hammer/pattern_fuzzer.hh"
+#include "hammer/sweep.hh"
+#include "hammer/tuned_configs.hh"
+
+using namespace rho;
+
+int
+main()
+{
+    bench::banner("Fig. 11",
+                  "cumulative flips over best-pattern sweeping; flip "
+                  "rates and speedups (DIMM S4)");
+
+    unsigned locations = static_cast<unsigned>(bench::scaled(24));
+    std::uint64_t budget = bench::scaled(380000);
+
+    for (Arch arch : allArchs) {
+        MemorySystem sys(arch, DimmProfile::byId("S4"), TrrConfig{}, 22);
+        HammerSession session(sys, 22);
+
+        // Best pattern from a short rhoHammer fuzz; per the paper, on
+        // Alder/Raptor the baseline reuses rhoHammer's best pattern
+        // as a fallback since its own fuzzing yields nothing.
+        PatternFuzzer fuzzer(session, 23);
+        FuzzParams fp;
+        fp.numPatterns = static_cast<unsigned>(bench::scaled(8));
+        fp.locationsPerPattern = 2;
+        auto fz = fuzzer.run(rhoConfig(arch, true, budget), fp);
+        if (!fz.bestPattern) {
+            std::printf("%s: no effective pattern at this scale\n",
+                        archName(arch).c_str());
+            continue;
+        }
+
+        auto rho = sweep(session, *fz.bestPattern,
+                         rhoConfig(arch, true, budget), locations, 24);
+        auto bl = sweep(session, *fz.bestPattern,
+                        baselineConfig(arch, false, budget), locations,
+                        24);
+
+        std::printf("--- %s ---\n", archName(arch).c_str());
+        std::printf("%-10s", "location:");
+        for (unsigned l = 0; l < locations; l += 4)
+            std::printf("%8u", l + 4);
+        std::printf("\n%-10s", "rho cum:");
+        std::uint64_t acc = 0;
+        for (unsigned l = 0; l < locations; ++l) {
+            acc += rho.flipsPerLocation[l];
+            if ((l + 1) % 4 == 0)
+                std::printf("%8llu", (unsigned long long)acc);
+        }
+        std::printf("\n%-10s", "BL cum:");
+        acc = 0;
+        for (unsigned l = 0; l < locations; ++l) {
+            acc += bl.flipsPerLocation[l];
+            if ((l + 1) % 4 == 0)
+                std::printf("%8llu", (unsigned long long)acc);
+        }
+        double rho_rate = rho.flipsPerMinute();
+        double bl_rate = bl.flipsPerMinute();
+        std::printf("\nflip rate: rhoHammer %.0f/min, baseline "
+                    "%.0f/min",
+                    rho_rate, bl_rate);
+        if (bl.totalFlips == 0)
+            std::printf(" -> baseline reproduces none\n\n");
+        else
+            std::printf(" -> %.1fx speedup\n\n", rho_rate / bl_rate);
+    }
+    std::puts("Shape: rhoHammer flips accumulate smoothly at every "
+              "location; large speedups on Comet/Rocket; on "
+              "Alder/Raptor the baseline reproduces no flips while "
+              "rhoHammer sustains a practical rate.");
+    return 0;
+}

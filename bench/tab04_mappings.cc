@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Table 4: reverse-engineered DRAM address mappings on the four most
+ * recent Intel architectures across the three DIMM geometries, checked
+ * against ground truth.
+ */
+
+#include "bench_util.hh"
+#include "common/bits.hh"
+#include "revng/reverse_engineer.hh"
+
+using namespace rho;
+
+int
+main()
+{
+    bench::banner("Tab. 4",
+                  "recovered DRAM address mappings per arch x geometry");
+
+    struct Geo
+    {
+        const char *dimm;
+        const char *label;
+    };
+    const Geo geos[] = {
+        {"S2", "(8G, 1, 16)"},
+        {"S1", "(16G, 2, 16)"},
+        {"M1", "(32G, 2, 16)"},
+    };
+
+    for (const Geo &g : geos) {
+        std::printf("--- Geometry %s (DIMM %s) ---\n", g.label, g.dimm);
+        for (Arch arch : allArchs) {
+            MemorySystem sys(arch, DimmProfile::byId(g.dimm),
+                             TrrConfig{}, 19);
+            BuddyAllocator buddy(sys.mapping().memBytes(), 0.02, 19);
+            PhysPool pool(buddy, 0.70);
+            TimingProbe probe(sys, 19);
+            RhoReverseEngineer re(probe, pool, 19);
+            MappingRecovery rec = re.run();
+
+            std::string fns;
+            for (auto fn : rec.bankFns) {
+                fns += fns.empty() ? "(" : ", (";
+                auto bits = bitsOfMask(fn);
+                for (std::size_t i = 0; i < bits.size(); ++i) {
+                    fns += (i ? ", " : "") + std::to_string(bits[i]);
+                }
+                fns += ")";
+            }
+            std::printf("%-12s Bank Func: %s; Row: %u-%u  [%s]\n",
+                        archName(arch).c_str(), fns.c_str(),
+                        rec.rowBits.empty() ? 0 : rec.rowBits.front(),
+                        rec.rowBits.empty() ? 0 : rec.rowBits.back(),
+                        rec.matches(sys.mapping()) ? "matches truth"
+                                                   : "MISMATCH");
+        }
+        std::printf("\n");
+    }
+    std::puts("Shape: Comet/Rocket share one (simple) scheme, "
+              "Alder/Raptor another with wider functions and the "
+              "low-order (9,11,13)-style function; every recovery "
+              "must match ground truth.");
+    return 0;
+}

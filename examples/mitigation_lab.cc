@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Example: mitigation laboratory (paper section 6) — measure how the
+ * in-DRAM TRR configuration and the platform pTRR ("Rowhammer
+ * Prevention" BIOS option) change rhoHammer's effectiveness.
+ */
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "hammer/pattern_fuzzer.hh"
+#include "hammer/tuned_configs.hh"
+
+using namespace rho;
+
+namespace
+{
+
+std::uint64_t
+campaign(const TrrConfig &trr, const char *label)
+{
+    MemorySystem sys(Arch::RaptorLake, DimmProfile::byId("S4"), trr, 9);
+    HammerSession session(sys, 9);
+    PatternFuzzer fuzzer(session, 10);
+    FuzzParams params;
+    params.numPatterns = 10;
+    params.locationsPerPattern = 2;
+    auto res = fuzzer.run(rhoConfig(Arch::RaptorLake, true), params);
+    std::printf("%-44s total flips %-6llu (TRR issued %llu targeted "
+                "refreshes)\n",
+                label, (unsigned long long)res.totalFlips,
+                (unsigned long long)sys.dimm().trrRefreshCount());
+    return res.totalFlips;
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    std::puts("rhoHammer vs mitigations on Raptor Lake + DIMM S4\n");
+
+    TrrConfig none;
+    none.enabled = false;
+    campaign(none, "no mitigation:");
+
+    campaign(TrrConfig{}, "stock DDR4 TRR (evaded by non-uniform):");
+
+    TrrConfig strong;
+    strong.counters = 16;
+    strong.sampleProb = 0.8;
+    strong.matchThreshold = 8;
+    strong.maxRefreshesPerTick = 4;
+    campaign(strong, "beefed-up TRR sampler:");
+
+    TrrConfig ptrr;
+    ptrr.ptrr = true;
+    campaign(ptrr, "TRR + pTRR (BIOS Rowhammer Prevention):");
+
+    std::puts("\nShape: stock TRR barely matters against non-uniform "
+              "patterns; a larger sampler helps somewhat; pTRR "
+              "eliminates nearly all flips, matching the paper's "
+              "BIOS experiment.");
+    return 0;
+}

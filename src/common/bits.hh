@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Bit-manipulation helpers used throughout address-mapping code.
+ */
+
+#ifndef RHO_COMMON_BITS_HH
+#define RHO_COMMON_BITS_HH
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace rho
+{
+
+/** Extract the single bit at position pos. */
+constexpr std::uint64_t
+bit(std::uint64_t value, unsigned pos)
+{
+    return (value >> pos) & 1ULL;
+}
+
+/** Set (1) or clear (0) the bit at position pos. */
+constexpr std::uint64_t
+setBit(std::uint64_t value, unsigned pos, std::uint64_t to)
+{
+    return (value & ~(1ULL << pos)) | ((to & 1ULL) << pos);
+}
+
+/** Flip the bit at position pos. */
+constexpr std::uint64_t
+flipBit(std::uint64_t value, unsigned pos)
+{
+    return value ^ (1ULL << pos);
+}
+
+/** XOR-reduce the bits selected by mask (linear bank functions). */
+constexpr std::uint64_t
+parity(std::uint64_t value, std::uint64_t mask)
+{
+    return std::popcount(value & mask) & 1ULL;
+}
+
+/** Build a mask with the given bit positions set. */
+inline std::uint64_t
+maskOfBits(const std::vector<unsigned> &positions)
+{
+    std::uint64_t m = 0;
+    for (unsigned p : positions)
+        m |= 1ULL << p;
+    return m;
+}
+
+/** List the set bit positions of a mask, ascending. */
+inline std::vector<unsigned>
+bitsOfMask(std::uint64_t mask)
+{
+    std::vector<unsigned> out;
+    while (mask) {
+        unsigned p = std::countr_zero(mask);
+        out.push_back(p);
+        mask &= mask - 1;
+    }
+    return out;
+}
+
+/** Integer log2 of a power of two. */
+constexpr unsigned
+log2Exact(std::uint64_t v)
+{
+    return std::countr_zero(v);
+}
+
+/** @return true iff v is a power of two (and non-zero). */
+constexpr bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace rho
+
+#endif // RHO_COMMON_BITS_HH

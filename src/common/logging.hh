@@ -1,0 +1,42 @@
+/**
+ * @file
+ * gem5-style status/error reporting helpers.
+ *
+ * panic()  - an internal invariant was violated (a library bug); aborts.
+ * fatal()  - the user asked for something impossible (bad config); exits.
+ * warn()   - something is suspicious but the run can continue.
+ * inform() - plain status output.
+ */
+
+#ifndef RHO_COMMON_LOGGING_HH
+#define RHO_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace rho
+{
+
+/** Print a formatted message and abort(); use for internal bugs. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a formatted message and exit(1); use for user errors. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr; execution continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a status message to stderr; execution continues. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Enable/disable inform() output (benches silence it). */
+void setVerbose(bool verbose);
+
+/** @return whether inform() output is currently enabled. */
+bool verbose();
+
+} // namespace rho
+
+#endif // RHO_COMMON_LOGGING_HH

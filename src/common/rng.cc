@@ -1,0 +1,9 @@
+#include "common/rng.hh"
+
+// All Rng members are defined inline in the header; this translation unit
+// exists so the library has an anchor and future non-inline helpers have a
+// home.
+
+namespace rho
+{
+} // namespace rho

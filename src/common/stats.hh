@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Lightweight statistics helpers: running moments, histograms, and a
+ * two-mode (bimodal) threshold finder used by the SBDR side channel.
+ */
+
+#ifndef RHO_COMMON_STATS_HH
+#define RHO_COMMON_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace rho
+{
+
+/** Online mean / variance / min / max accumulator (Welford). */
+class RunningStat
+{
+  public:
+    void add(double x);
+
+    std::uint64_t count() const { return n; }
+    double mean() const { return n ? m : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double min() const { return n ? lo : 0.0; }
+    double max() const { return n ? hi : 0.0; }
+    double sum() const { return total; }
+
+    void clear() { *this = RunningStat(); }
+
+  private:
+    std::uint64_t n = 0;
+    double m = 0.0;
+    double m2 = 0.0;
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    double total = 0.0;
+};
+
+/** Fixed-width histogram over [lo, hi). Out-of-range samples clamp. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, unsigned num_bins);
+
+    void add(double x);
+
+    unsigned numBins() const { return bins.size(); }
+    std::uint64_t binCount(unsigned i) const { return bins[i]; }
+    double binCenter(unsigned i) const;
+    std::uint64_t totalCount() const { return total; }
+
+    /** Fraction of samples at or above x. */
+    double fractionAbove(double x) const;
+
+    /**
+     * Find a separating threshold for a bimodal distribution: the
+     * midpoint of the widest empty (or near-empty) gap between the two
+     * densest regions. Used to split SBDR from non-SBDR latencies.
+     *
+     * @param min_upper_frac minimum fraction of samples expected in the
+     *        upper (slow) mode; the search only considers thresholds
+     *        leaving at least this fraction above.
+     */
+    double separatingThreshold(double min_upper_frac = 0.005) const;
+
+  private:
+    double lo, hi, width;
+    std::vector<std::uint64_t> bins;
+    std::uint64_t total = 0;
+};
+
+/** Percentile of a (copied, sorted) sample vector; p in [0, 100]. */
+double percentile(std::vector<double> samples, double p);
+
+} // namespace rho
+
+#endif // RHO_COMMON_STATS_HH

@@ -1,0 +1,81 @@
+#include "common/table.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace rho
+{
+
+TextTable::TextTable(std::vector<std::string> header)
+    : head(std::move(header))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    if (row.size() != head.size())
+        panic("TextTable: row width %zu != header width %zu",
+              row.size(), head.size());
+    body.push_back(std::move(row));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(head.size(), 0);
+    auto grow = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    grow(head);
+    for (const auto &r : body)
+        grow(r);
+
+    auto render_row = [&](const std::vector<std::string> &row) {
+        std::string out;
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            out += "| ";
+            out += row[i];
+            out.append(widths[i] - row[i].size() + 1, ' ');
+        }
+        out += "|\n";
+        return out;
+    };
+
+    std::string sep = "+";
+    for (std::size_t w : widths)
+        sep += std::string(w + 2, '-') + "+";
+    sep += "\n";
+
+    std::string out = sep + render_row(head) + sep;
+    for (const auto &r : body)
+        out += render_row(r);
+    out += sep;
+    return out;
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+std::string
+strFormat(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    int len = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    std::string out(len, '\0');
+    std::vsnprintf(out.data(), len + 1, fmt, ap2);
+    va_end(ap2);
+    return out;
+}
+
+} // namespace rho

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * ASCII table renderer used by the benchmark harnesses to print
+ * paper-style tables and figure series.
+ */
+
+#ifndef RHO_COMMON_TABLE_HH
+#define RHO_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace rho
+{
+
+/** A simple left-padded ASCII table with a header row. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append one row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render with aligned columns. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> body;
+};
+
+/** printf-style formatting into a std::string. */
+std::string strFormat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace rho
+
+#endif // RHO_COMMON_TABLE_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the rhohammer libraries.
+ */
+
+#ifndef RHO_COMMON_TYPES_HH
+#define RHO_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace rho
+{
+
+/** A simulated physical address (byte granularity). */
+using PhysAddr = std::uint64_t;
+
+/** A simulated virtual address (byte granularity). */
+using VirtAddr = std::uint64_t;
+
+/** Simulated time in nanoseconds. */
+using Ns = double;
+
+/** CPU core cycles (fractional cycles allowed for sub-cycle costs). */
+using Cycles = double;
+
+/** Size of a cache line in bytes (x86). */
+constexpr std::uint64_t cacheLineBytes = 64;
+
+/** Size of a base page in bytes. */
+constexpr std::uint64_t pageBytes = 4096;
+
+/** Round an address down to its cache-line base. */
+constexpr PhysAddr
+lineOf(PhysAddr pa)
+{
+    return pa & ~(cacheLineBytes - 1);
+}
+
+/** Round an address down to its page base. */
+constexpr PhysAddr
+pageOf(PhysAddr pa)
+{
+    return pa & ~(pageBytes - 1);
+}
+
+} // namespace rho
+
+#endif // RHO_COMMON_TYPES_HH

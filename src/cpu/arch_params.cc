@@ -1,0 +1,142 @@
+#include "cpu/arch_params.hh"
+
+#include "common/logging.hh"
+
+namespace rho
+{
+
+namespace
+{
+
+ArchParams
+base()
+{
+    ArchParams p{};
+    p.branchResolveCyc = 8.0;
+    p.l1HitCyc = 4.0;
+    p.addrGenLatencyCyc = 5.0;
+    p.prefetchExtraT0Ns = 3.0;
+    p.prefetchExtraNs = 0.5;
+    p.aluCyc = 1.0;
+    p.obfOverheadCyc = 24.0;
+    p.lfenceCyc = 15.0;
+    p.mfenceCyc = 35.0;
+    p.cpuidCyc = 220.0;
+    return p;
+}
+
+ArchParams
+cometLake()
+{
+    ArchParams p = base();
+    p.name = "Comet Lake";
+    p.freqGhz = 4.8;
+    p.fetchWidth = 4;
+    p.robSize = 224;
+    p.lqSize = 72;
+    p.lfbSize = 10;
+    p.pfQueueSize = 10;
+    p.sbSize = 2048;
+    p.depChainBreakFactor = 1.0;
+    p.mispredictPenaltyCyc = 16.0;
+    p.flushLatencyNs = 14.0;
+    p.loadExtraNs = 36.0;
+    p.loadIssueOccupancyNs = 120.0;
+    p.prefetchIssueOccupancyNs = 15.0;
+    p.flushJitterProb = 0.02;
+    p.flushJitterNs = 150.0;
+    p.nopCyc = 1.0 / p.fetchWidth;
+    return p;
+}
+
+ArchParams
+rocketLake()
+{
+    ArchParams p = base();
+    p.name = "Rocket Lake";
+    p.freqGhz = 4.9;
+    p.fetchWidth = 5;
+    p.robSize = 352;
+    p.lqSize = 72;
+    p.lfbSize = 12;
+    p.pfQueueSize = 12;
+    p.sbSize = 2048;
+    p.depChainBreakFactor = 0.75;
+    p.mispredictPenaltyCyc = 17.0;
+    p.flushLatencyNs = 17.0;
+    p.loadExtraNs = 40.0;
+    p.loadIssueOccupancyNs = 125.0;
+    p.prefetchIssueOccupancyNs = 15.0;
+    p.flushJitterProb = 0.10;
+    p.flushJitterNs = 200.0;
+    p.nopCyc = 1.0 / p.fetchWidth;
+    return p;
+}
+
+ArchParams
+alderLake()
+{
+    ArchParams p = base();
+    p.name = "Alder Lake";
+    p.freqGhz = 5.1;
+    p.fetchWidth = 6;
+    p.robSize = 512;
+    p.lqSize = 192;
+    p.lfbSize = 16;
+    p.pfQueueSize = 16;
+    p.sbSize = 2048;
+    p.depChainBreakFactor = 0.32;
+    p.mispredictPenaltyCyc = 18.0;
+    p.flushLatencyNs = 40.0;
+    p.loadExtraNs = 46.0;
+    p.loadIssueOccupancyNs = 115.0;
+    p.prefetchIssueOccupancyNs = 14.0;
+    p.flushJitterProb = 0.60;
+    p.flushJitterNs = 250.0;
+    p.nopCyc = 1.0 / p.fetchWidth;
+    return p;
+}
+
+ArchParams
+raptorLake()
+{
+    ArchParams p = base();
+    p.name = "Raptor Lake";
+    p.freqGhz = 5.5;
+    p.fetchWidth = 6;
+    p.robSize = 512;
+    p.lqSize = 192;
+    p.lfbSize = 16;
+    p.pfQueueSize = 16;
+    p.sbSize = 2048;
+    p.depChainBreakFactor = 0.22;
+    p.mispredictPenaltyCyc = 18.0;
+    p.flushLatencyNs = 48.0;
+    p.loadExtraNs = 50.0;
+    p.loadIssueOccupancyNs = 110.0;
+    p.prefetchIssueOccupancyNs = 14.0;
+    p.flushJitterProb = 0.70;
+    p.flushJitterNs = 300.0;
+    p.nopCyc = 1.0 / p.fetchWidth;
+    return p;
+}
+
+} // namespace
+
+const ArchParams &
+ArchParams::forArch(Arch arch)
+{
+    static const ArchParams comet = cometLake();
+    static const ArchParams rocket = rocketLake();
+    static const ArchParams alder = alderLake();
+    static const ArchParams raptor = raptorLake();
+    switch (arch) {
+      case Arch::CometLake: return comet;
+      case Arch::RocketLake: return rocket;
+      case Arch::AlderLake: return alder;
+      case Arch::RaptorLake: return raptor;
+    }
+    panic("ArchParams::forArch: bad arch");
+}
+
+} // namespace rho

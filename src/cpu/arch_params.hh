@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Micro-architectural parameter sets for the four evaluated Intel
+ * cores (paper Table 1). Values are representative of public
+ * documentation; what matters for the reproduction is the *relative*
+ * evolution across generations: wider front-ends, larger windows and
+ * more aggressive speculation from Comet Lake to Raptor Lake.
+ */
+
+#ifndef RHO_CPU_ARCH_PARAMS_HH
+#define RHO_CPU_ARCH_PARAMS_HH
+
+#include <string>
+
+#include "common/types.hh"
+#include "mapping/mapping_presets.hh"
+
+namespace rho
+{
+
+/** Tunable core model parameters. */
+struct ArchParams
+{
+    std::string name;
+    double freqGhz;
+
+    // Pipeline resources.
+    unsigned fetchWidth;   //!< ops dispatched per cycle
+    unsigned robSize;
+    unsigned lqSize;       //!< load queue entries
+    unsigned lfbSize;      //!< L1 line fill buffers (MSHRs)
+    unsigned pfQueueSize;  //!< software prefetch request queue depth
+    /**
+     * Store-buffer / flush-queue entries. CLFLUSHOPT holds one until
+     * its eviction completes, so this bounds how far the front end
+     * (and thus speculative prefetch probes) can run ahead of memory
+     * reality. Bigger buffers on newer cores = deeper run-ahead =
+     * worse prefetch disorder.
+     */
+    unsigned sbSize;
+
+    // Speculation behaviour.
+    /**
+     * How much of the address-generation dependency chain survives on
+     * this core (1.0 = the full chain serializes memory ops; newer
+     * cores predict/disambiguate it away almost entirely).
+     */
+    double depChainBreakFactor;
+    double mispredictPenaltyCyc;
+    double branchResolveCyc;
+
+    // Cache / memory path costs.
+    double l1HitCyc;
+    double addrGenLatencyCyc;  //!< per-op chain latency ("C++" primitive)
+    Ns flushLatencyNs;   //!< clflushopt issue-to-line-evicted latency
+    Ns loadExtraNs;      //!< load fill-to-use + LFB hold beyond DRAM
+    Ns prefetchExtraT0Ns; //!< extra fill time for all-level prefetch
+    Ns prefetchExtraNs;  //!< extra fill time for T1/T2/NTA
+
+    /**
+     * Minimum spacing between demand-load misses entering the memory
+     * subsystem (MSHR allocate + replay + TLB overheads). This is why
+     * single-threaded loads cannot saturate DRAM bandwidth while
+     * prefetches, with their much smaller footprint, can (paper 4.5).
+     */
+    Ns loadIssueOccupancyNs;
+    Ns prefetchIssueOccupancyNs;
+
+    /**
+     * Residual speculative disorder at the memory interface: with this
+     * probability a CLFLUSHOPT's completion is delayed by
+     * flushJitterNs (weakly-ordered flush stuck behind speculative
+     * traffic), so the next same-line access still hits. Grows
+     * sharply on Alder/Raptor Lake and cannot be fenced away.
+     */
+    double flushJitterProb;
+    Ns flushJitterNs;
+
+    // Instruction costs (cycles).
+    double nopCyc;        //!< effective dispatch cost of one NOP
+    double aluCyc;
+    double obfOverheadCyc; //!< rdrand/rdtscp + mixing per obf. branch
+    double lfenceCyc;
+    double mfenceCyc;
+    double cpuidCyc;
+
+    /** Preset for one of the four paper machines. */
+    static const ArchParams &forArch(Arch arch);
+};
+
+} // namespace rho
+
+#endif // RHO_CPU_ARCH_PARAMS_HH

@@ -1,0 +1,62 @@
+#include "cpu/branch_predictor.hh"
+
+#include <algorithm>
+
+#include "common/rng.hh"
+
+namespace rho
+{
+
+BranchPredictor::BranchPredictor(unsigned pht_bits, unsigned btb_bits)
+    : phtMask((1u << pht_bits) - 1), btbMask((1u << btb_bits) - 1),
+      pht((1u << pht_bits), 1), btb(1u << btb_bits)
+{
+}
+
+void
+BranchPredictor::reset()
+{
+    std::fill(pht.begin(), pht.end(), 1);
+    std::fill(btb.begin(), btb.end(), BtbEntry{});
+    history = 0;
+    nLookups = 0;
+    nMispredicts = 0;
+}
+
+bool
+BranchPredictor::predictAndUpdate(std::uint64_t pc, bool taken,
+                                  std::uint64_t target)
+{
+    ++nLookups;
+
+    unsigned pht_idx = static_cast<unsigned>(
+        (splitMix64(pc) ^ history) & phtMask);
+    bool predicted_taken = pht[pht_idx] >= 2;
+
+    unsigned btb_idx = static_cast<unsigned>(splitMix64(pc) & btbMask);
+    BtbEntry &be = btb[btb_idx];
+    bool target_hit = be.valid && be.tag == pc && be.target == target;
+
+    bool mispredict;
+    if (taken) {
+        mispredict = !predicted_taken || !target_hit;
+    } else {
+        mispredict = predicted_taken;
+    }
+
+    // Update.
+    if (taken) {
+        if (pht[pht_idx] < 3)
+            ++pht[pht_idx];
+        be = {pc, target, true};
+    } else if (pht[pht_idx] > 0) {
+        --pht[pht_idx];
+    }
+    history = ((history << 1) | (taken ? 1 : 0)) & phtMask;
+
+    if (mispredict)
+        ++nMispredicts;
+    return mispredict;
+}
+
+} // namespace rho

@@ -1,0 +1,68 @@
+#include "cpu/kernel.hh"
+
+#include "common/logging.hh"
+
+namespace rho
+{
+
+std::uint32_t
+HammerKernel::lineIdFor(PhysAddr pa)
+{
+    PhysAddr line = lineOf(pa);
+    auto [it, inserted] = lineIds.try_emplace(
+        line, static_cast<std::uint32_t>(lineAddrs.size()));
+    if (inserted)
+        lineAddrs.push_back(line);
+    return it->second;
+}
+
+void
+HammerKernel::pushMem(OpKind kind, PhysAddr pa)
+{
+    if (!isMemRead(kind) && kind != OpKind::ClFlushOpt)
+        panic("HammerKernel::pushMem: %s is not a memory op",
+              opKindName(kind).c_str());
+    ops.push_back({kind, lineIdFor(pa), 1});
+}
+
+void
+HammerKernel::pushNops(std::uint32_t count)
+{
+    if (count == 0)
+        return;
+    ops.push_back({OpKind::NopRun, 0, count});
+}
+
+std::uint64_t
+HammerKernel::memReadsPerPeriod() const
+{
+    std::uint64_t n = 0;
+    for (const Op &op : ops) {
+        if (isMemRead(op.kind))
+            ++n;
+    }
+    return n;
+}
+
+std::string
+opKindName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Load: return "load";
+      case OpKind::PrefetchT0: return "prefetcht0";
+      case OpKind::PrefetchT1: return "prefetcht1";
+      case OpKind::PrefetchT2: return "prefetcht2";
+      case OpKind::PrefetchNta: return "prefetchnta";
+      case OpKind::ClFlushOpt: return "clflushopt";
+      case OpKind::NopRun: return "nop";
+      case OpKind::Lfence: return "lfence";
+      case OpKind::Mfence: return "mfence";
+      case OpKind::Cpuid: return "cpuid";
+      case OpKind::BranchObf: return "branch.obf";
+      case OpKind::BranchLoop: return "branch.loop";
+      case OpKind::AluDep: return "alu";
+    }
+    panic("opKindName: bad kind");
+}
+
+} // namespace rho

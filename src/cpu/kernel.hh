@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Hammer-kernel representation: the instruction stream a hammering
+ * strategy executes, at the abstraction level the timing model needs.
+ *
+ * A kernel is one period of the attack loop; SimCpu replays it until
+ * an access budget is exhausted. Memory operands are interned into
+ * dense "line ids" at build time so the cache model can use flat
+ * arrays in the hot path.
+ */
+
+#ifndef RHO_CPU_KERNEL_HH
+#define RHO_CPU_KERNEL_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace rho
+{
+
+/** Modelled instruction kinds. */
+enum class OpKind : std::uint8_t
+{
+    Load,        //!< MOV from memory
+    PrefetchT0,
+    PrefetchT1,
+    PrefetchT2,
+    PrefetchNta,
+    ClFlushOpt,
+    NopRun,      //!< `count` consecutive NOPs (modelled as a block)
+    Lfence,
+    Mfence,
+    Cpuid,
+    BranchObf,   //!< control-flow-obfuscated branch (rdrand-derived)
+    BranchLoop,  //!< well-predicted loop back-edge
+    AluDep,      //!< dependent ALU op (index arithmetic)
+};
+
+/** @return true iff k is one of the four PREFETCHh hints. */
+constexpr bool
+isPrefetch(OpKind k)
+{
+    return k == OpKind::PrefetchT0 || k == OpKind::PrefetchT1 ||
+           k == OpKind::PrefetchT2 || k == OpKind::PrefetchNta;
+}
+
+/** @return true iff k reads memory (load or prefetch). */
+constexpr bool
+isMemRead(OpKind k)
+{
+    return k == OpKind::Load || isPrefetch(k);
+}
+
+/** One modelled instruction. */
+struct Op
+{
+    OpKind kind;
+    std::uint32_t line = 0;  //!< interned cache-line id (mem ops)
+    std::uint32_t count = 1; //!< repeat count (NopRun)
+};
+
+/** How hammer/flush operands are addressed (paper section 4.2). */
+enum class AddressingMode : std::uint8_t
+{
+    CppIndexed,   //!< aggr_row_addrs[idx]: loop-carried dependency
+    JitImmediate, //!< unrolled immediates: no dependency chain
+};
+
+/**
+ * One period of a hammer loop plus the line-id to physical-address
+ * interning table.
+ */
+class HammerKernel
+{
+  public:
+    explicit HammerKernel(AddressingMode mode = AddressingMode::CppIndexed)
+        : addrMode(mode)
+    {
+    }
+
+    AddressingMode mode() const { return addrMode; }
+
+    /** Intern an address; returns its dense line id. */
+    std::uint32_t lineIdFor(PhysAddr pa);
+
+    /** Physical address of a line id. */
+    PhysAddr addrOf(std::uint32_t line) const { return lineAddrs[line]; }
+
+    std::uint32_t numLines() const { return lineAddrs.size(); }
+
+    void push(Op op) { ops.push_back(op); }
+    void pushMem(OpKind kind, PhysAddr pa);
+    void pushNops(std::uint32_t count);
+
+    const std::vector<Op> &body() const { return ops; }
+
+    /** Number of memory-read ops (hammer attempts) per period. */
+    std::uint64_t memReadsPerPeriod() const;
+
+  private:
+    AddressingMode addrMode;
+    std::vector<Op> ops;
+    std::vector<PhysAddr> lineAddrs;
+    std::unordered_map<PhysAddr, std::uint32_t> lineIds;
+};
+
+/** Display name for an op kind ("load", "prefetchnta", ...). */
+std::string opKindName(OpKind kind);
+
+} // namespace rho
+
+#endif // RHO_CPU_KERNEL_HH

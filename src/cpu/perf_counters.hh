@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Hardware-performance-counter style statistics emitted by SimCpu,
+ * mirroring what the paper measures via Linux perf (e.g. the
+ * L1-dcache-load-misses event over the hammer loop).
+ */
+
+#ifndef RHO_CPU_PERF_COUNTERS_HH
+#define RHO_CPU_PERF_COUNTERS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace rho
+{
+
+/** Counters accumulated over one SimCpu::run. */
+struct PerfCounters
+{
+    std::uint64_t memReads = 0;        //!< load + prefetch ops issued
+    std::uint64_t dramAccesses = 0;    //!< reads that reached DRAM
+    std::uint64_t cacheHits = 0;       //!< served by a (stale) line
+    std::uint64_t pfQueueDrops = 0;    //!< prefetch dropped, queue full
+    std::uint64_t flushes = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t branchMispredicts = 0;
+    std::uint64_t nops = 0;
+    Ns timeNs = 0.0;                   //!< simulated wall time
+
+    /** L1-dcache-load-miss rate over the hammer loop. */
+    double
+    missRate() const
+    {
+        return memReads
+            ? static_cast<double>(dramAccesses) / memReads
+            : 0.0;
+    }
+
+    /** DRAM activations per second of simulated time. */
+    double
+    dramAccessRate() const
+    {
+        return timeNs > 0.0 ? dramAccesses / (timeNs * 1e-9) : 0.0;
+    }
+};
+
+} // namespace rho
+
+#endif // RHO_CPU_PERF_COUNTERS_HH

@@ -1,0 +1,288 @@
+#include "cpu/sim_cpu.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace rho
+{
+
+SimCpu::SimCpu(const ArchParams &params, std::uint64_t seed)
+    : arch(params), rng(seed)
+{
+}
+
+Ns
+SimCpu::lfbAcquire(Ns t)
+{
+    if (lfb.size() < arch.lfbSize)
+        return t;
+    std::pop_heap(lfb.begin(), lfb.end(), std::greater<>());
+    Ns earliest = lfb.back();
+    lfb.pop_back();
+    return std::max(t, earliest);
+}
+
+void
+SimCpu::lfbRelease(Ns release_at)
+{
+    lfb.push_back(release_at);
+    std::push_heap(lfb.begin(), lfb.end(), std::greater<>());
+}
+
+void
+SimCpu::robPush(Ns completion)
+{
+    if (rob.size() >= arch.robSize) {
+        // In-order retirement: the head must commit before a new slot
+        // frees up; commits cannot reorder, so retire time is monotone.
+        lastRobRetire = std::max(lastRobRetire, rob.front());
+        rob.pop_front();
+        now = std::max(now, lastRobRetire);
+    }
+    rob.push_back(completion);
+}
+
+Ns
+SimCpu::dram(MemoryBackend &mem, PhysAddr pa, Ns t)
+{
+    // The controller sees a monotone command stream.
+    lastDramTime = std::max(lastDramTime, t);
+    return mem.dramAccess(pa, lastDramTime);
+}
+
+PerfCounters
+SimCpu::run(const HammerKernel &kernel, MemoryBackend &mem,
+            std::uint64_t mem_read_budget, Ns start_ns)
+{
+    // Fresh micro-architectural state; lines start uncached (the
+    // attack flushes its working set before hammering).
+    cache = CacheModel(kernel.numLines());
+    lfb.clear();
+    pfQueue.clear();
+    loadQueue.clear();
+    storeBuffer.clear();
+    rob.clear();
+    bp.reset();
+    now = start_ns;
+    lastMemIssue = -1e18;
+    lastLoadComplete = lastAddrLoadComplete = 0.0;
+    lastFlushDone = lastFillDone = 0.0;
+    lastRobRetire = lastLoadRetire = 0.0;
+    lastDramTime = start_ns;
+    lastLoadGrant = lastPfGrant = -1e18;
+    ctr = PerfCounters{};
+    budget = mem_read_budget;
+
+    const auto &body = kernel.body();
+    if (body.empty() || kernel.memReadsPerPeriod() == 0)
+        fatal("SimCpu::run: kernel has no memory reads");
+
+    bool done = false;
+    while (!done) {
+        for (std::uint64_t i = 0; i < body.size(); ++i) {
+            execOp(body[i], kernel, mem, i);
+            if (ctr.memReads >= budget) {
+                done = true;
+                break;
+            }
+        }
+    }
+
+    ctr.timeNs = now - start_ns;
+    return ctr;
+}
+
+void
+SimCpu::execOp(const Op &op, const HammerKernel &kernel, MemoryBackend &mem,
+               std::uint64_t op_index)
+{
+    bool indexed = kernel.mode() == AddressingMode::CppIndexed;
+
+    switch (op.kind) {
+      case OpKind::NopRun:
+        // A run of NOPs occupies dispatch bandwidth (and transiently
+        // ROB slots); its only effect is to space later ops out.
+        now += cyc(arch.nopCyc) * op.count;
+        ctr.nops += op.count;
+        return;
+
+      case OpKind::AluDep:
+        now += cyc(arch.aluCyc) * op.count;
+        return;
+
+      case OpKind::Lfence: {
+        // Waits for older loads (including the address-generation
+        // loads of the indexed primitive) and blocks younger
+        // execution. Does not wait for prefetch fills, so with
+        // immediate (JIT) addressing and a pure prefetch stream it
+        // retires almost immediately and orders nothing.
+        Ns ready = std::max(lastLoadComplete, lastAddrLoadComplete);
+        if (ready > now)
+            now = ready + cyc(arch.lfenceCyc); // wait + restart
+        else
+            now += cyc(2.0);
+        return;
+      }
+
+      case OpKind::Mfence: {
+        Ns ready = std::max({lastLoadComplete, lastAddrLoadComplete,
+                             lastFlushDone});
+        now = std::max(now + cyc(arch.mfenceCyc), ready);
+        return;
+      }
+
+      case OpKind::Cpuid: {
+        // Fully serializing: even prefetch fills must land first.
+        Ns ready = std::max({lastLoadComplete, lastAddrLoadComplete,
+                             lastFlushDone, lastFillDone});
+        now = std::max(now + cyc(arch.cpuidCyc), ready);
+        return;
+      }
+
+      case OpKind::BranchObf: {
+        ++ctr.branches;
+        now += cyc(arch.obfOverheadCyc);
+        // rdrand-derived direction and one of 8 dispatch targets: the
+        // predictor cannot learn either.
+        bool taken = rng.chance(0.5);
+        std::uint64_t target = taken ? 1 + rng.uniformInt(0, 7) : 0;
+        bool miss = bp.predictAndUpdate(0x4000 + op_index, taken, target);
+        if (miss) {
+            ++ctr.branchMispredicts;
+            now += cyc(arch.branchResolveCyc + arch.mispredictPenaltyCyc);
+        }
+        return;
+      }
+
+      case OpKind::BranchLoop: {
+        ++ctr.branches;
+        now += cyc(0.25);
+        bool miss = bp.predictAndUpdate(0x8000 + op_index, true,
+                                        /*target=*/1);
+        if (miss) {
+            ++ctr.branchMispredicts;
+            now += cyc(arch.branchResolveCyc + arch.mispredictPenaltyCyc);
+        }
+        return;
+      }
+
+      case OpKind::ClFlushOpt: {
+        now += cyc(1.0 / arch.fetchWidth);
+        Ns issue = now;
+        if (indexed) {
+            issue = std::max(issue, lastMemIssue
+                + cyc(arch.addrGenLatencyCyc * arch.depChainBreakFactor));
+            lastAddrLoadComplete = std::max(lastAddrLoadComplete,
+                                            issue + cyc(arch.l1HitCyc));
+        }
+        ++ctr.flushes;
+        // Residual speculative disorder: occasionally the weakly
+        // ordered flush is delayed far beyond its nominal latency and
+        // the next same-line access still hits the stale line. This
+        // cannot be fenced or NOP-padded away, and is the dominant
+        // effect on Alder/Raptor Lake.
+        Ns flush_lat = arch.flushLatencyNs;
+        if (arch.flushJitterProb > 0.0 && rng.chance(arch.flushJitterProb))
+            flush_lat += arch.flushJitterNs;
+        Ns done = cache.recordFlush(op.line, issue, flush_lat);
+        if (done >= 0.0) {
+            lastFlushDone = std::max(lastFlushDone, done);
+            // The flush holds a store-buffer entry until it completes;
+            // a full buffer stalls dispatch, pacing the front end to
+            // memory reality.
+            if (storeBuffer.size() >= arch.sbSize) {
+                now = std::max(now, storeBuffer.front());
+                storeBuffer.pop_front();
+            }
+            storeBuffer.push_back(done);
+        }
+        robPush(issue + cyc(1.0));
+        lastMemIssue = std::max(lastMemIssue, issue);
+        return;
+      }
+
+      case OpKind::Load:
+      case OpKind::PrefetchT0:
+      case OpKind::PrefetchT1:
+      case OpKind::PrefetchT2:
+      case OpKind::PrefetchNta:
+        break; // handled below
+    }
+
+    // Memory read (load or prefetch).
+    now += cyc(1.0 / arch.fetchWidth);
+    Ns issue = now;
+    if (indexed) {
+        issue = std::max(issue, lastMemIssue
+            + cyc(arch.addrGenLatencyCyc * arch.depChainBreakFactor));
+        lastAddrLoadComplete = std::max(lastAddrLoadComplete,
+                                        issue + cyc(arch.l1HitCyc));
+    }
+    ++ctr.memReads;
+    PhysAddr pa = kernel.addrOf(op.line);
+
+    if (op.kind == OpKind::Load) {
+        Ns completion;
+        if (cache.presentOrInFlight(op.line, issue)) {
+            ++ctr.cacheHits;
+            completion = std::max(issue, cache.fillDone(op.line))
+                + cyc(arch.l1HitCyc);
+        } else {
+            // Demand misses enter the memory subsystem with a minimum
+            // spacing; this is what keeps single-threaded loads from
+            // saturating DRAM bandwidth.
+            Ns grant = lfbAcquire(std::max(
+                issue, lastLoadGrant + arch.loadIssueOccupancyNs));
+            lastLoadGrant = grant;
+            Ns lat = dram(mem, pa, grant);
+            completion = grant + lat + arch.loadExtraNs;
+            // Loads hold their fill buffer for the full fill-to-use
+            // path (fill into L1 + forwarding), unlike prefetches.
+            lfbRelease(completion);
+            cache.recordFill(op.line, completion);
+            ++ctr.dramAccesses;
+            lastFillDone = std::max(lastFillDone, completion);
+        }
+        if (loadQueue.size() >= arch.lqSize) {
+            lastLoadRetire = std::max(lastLoadRetire, loadQueue.front());
+            loadQueue.pop_front();
+            now = std::max(now, lastLoadRetire);
+        }
+        loadQueue.push_back(completion);
+        robPush(completion);
+        lastLoadComplete = std::max(lastLoadComplete, completion);
+    } else {
+        // Prefetch: retires as soon as the address resolves.
+        robPush(issue + cyc(1.0));
+        if (cache.presentOrInFlight(op.line, issue)) {
+            // Hint ignored: line present or still being flushed/filled.
+            ++ctr.cacheHits;
+        } else {
+            while (!pfQueue.empty() && pfQueue.front() <= issue)
+                pfQueue.pop_front();
+            if (pfQueue.size() >= arch.pfQueueSize) {
+                ++ctr.pfQueueDrops;
+            } else {
+                Ns base = pfQueue.empty()
+                    ? issue : std::max(issue, pfQueue.back());
+                base = std::max(base,
+                    lastPfGrant + arch.prefetchIssueOccupancyNs);
+                Ns grant = lfbAcquire(base);
+                lastPfGrant = grant;
+                Ns lat = dram(mem, pa, grant);
+                Ns extra = op.kind == OpKind::PrefetchT0
+                    ? arch.prefetchExtraT0Ns : arch.prefetchExtraNs;
+                Ns fill_done = grant + lat + extra;
+                lfbRelease(fill_done);
+                cache.recordFill(op.line, fill_done);
+                pfQueue.push_back(grant);
+                ++ctr.dramAccesses;
+                lastFillDone = std::max(lastFillDone, fill_done);
+            }
+        }
+    }
+    lastMemIssue = std::max(lastMemIssue, issue);
+}
+
+} // namespace rho

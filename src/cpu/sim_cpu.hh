@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Instruction-granular timing model of a speculative x86 core running
+ * a hammer kernel.
+ *
+ * The model captures exactly the micro-architectural interactions the
+ * paper's analysis rests on:
+ *
+ *  - Loads occupy load-queue/ROB entries until their data returns and
+ *    hold a fill buffer for the full fill-to-use path, throttling their
+ *    activation rate.
+ *  - Prefetches retire at issue (asynchronous); their requests use a
+ *    shallow queue + the fill buffers, and are silently dropped when
+ *    the line is (still) present, a fill is in flight, or the request
+ *    queue is full.
+ *  - CLFLUSHOPT completes asynchronously and is unordered with respect
+ *    to prefetches: an access issued before a same-line flush completes
+ *    hits the stale line and performs no DRAM activation (Fig. 7).
+ *  - The "C++ indexed" addressing mode carries a loop dependency that
+ *    spaces memory ops out; newer cores speculate most of that chain
+ *    away (depChainBreakFactor), compressing issue times and making
+ *    the disorder worse (Alder/Raptor Lake).
+ *  - LFENCE waits for older loads (and the address-generation loads of
+ *    the indexed mode) and blocks younger execution; it does NOT order
+ *    prefetch fills. CPUID serializes everything. NOP runs consume
+ *    dispatch bandwidth/ROB slots, spacing accesses without waiting.
+ *  - Obfuscated branches are resolved against a real gshare/BTB model
+ *    fed random outcomes; each mispredict is a pipeline flush that
+ *    re-serializes the front end.
+ */
+
+#ifndef RHO_CPU_SIM_CPU_HH
+#define RHO_CPU_SIM_CPU_HH
+
+#include <deque>
+#include <vector>
+
+#include "common/rng.hh"
+#include "cpu/arch_params.hh"
+#include "cpu/branch_predictor.hh"
+#include "cpu/cache_model.hh"
+#include "cpu/kernel.hh"
+#include "cpu/perf_counters.hh"
+
+namespace rho
+{
+
+/** Interface the CPU model uses to reach DRAM. */
+class MemoryBackend
+{
+  public:
+    virtual ~MemoryBackend() = default;
+
+    /**
+     * Perform a timed DRAM read of the line containing pa.
+     * @return the access latency in ns.
+     */
+    virtual Ns dramAccess(PhysAddr pa, Ns now) = 0;
+};
+
+/** The core model. One instance per (arch, experiment). */
+class SimCpu
+{
+  public:
+    SimCpu(const ArchParams &params, std::uint64_t seed);
+
+    /**
+     * Replay the kernel until mem_read_budget hammer attempts (loads
+     * or prefetches) have been issued.
+     *
+     * @param start_ns simulated time at entry (the DRAM refresh
+     *        machinery is phase-sensitive, so callers maintain a
+     *        global clock).
+     */
+    PerfCounters run(const HammerKernel &kernel, MemoryBackend &mem,
+                     std::uint64_t mem_read_budget, Ns start_ns = 0.0);
+
+    const ArchParams &params() const { return arch; }
+
+  private:
+    // One pass over the kernel body; returns false when budget hit.
+    void execOp(const Op &op, const HammerKernel &kernel,
+                MemoryBackend &mem, std::uint64_t op_index);
+
+    Ns cyc(double cycles) const { return cycles / arch.freqGhz; }
+
+    // Fill-buffer pool: returns the grant time for a new entry.
+    Ns lfbAcquire(Ns t);
+    void lfbRelease(Ns release_at);
+
+    void robPush(Ns completion);
+
+    Ns dram(MemoryBackend &mem, PhysAddr pa, Ns t);
+
+    const ArchParams &arch;
+    Rng rng;
+    BranchPredictor bp;
+
+    // Per-run state.
+    CacheModel cache{0};
+    std::vector<Ns> lfb;          //!< min-heap of release times
+    std::deque<Ns> pfQueue;       //!< grant times of queued prefetches
+    std::deque<Ns> loadQueue;     //!< completion times (FIFO)
+    std::deque<Ns> storeBuffer;   //!< flush completion times (FIFO)
+    std::deque<Ns> rob;           //!< completion times (FIFO)
+    Ns now = 0.0;
+    Ns lastMemIssue = -1e18;
+    Ns lastLoadComplete = 0.0;
+    Ns lastAddrLoadComplete = 0.0;
+    Ns lastFlushDone = 0.0;
+    Ns lastFillDone = 0.0;
+    Ns lastRobRetire = 0.0;
+    Ns lastLoadRetire = 0.0;
+    Ns lastDramTime = 0.0;
+    Ns lastLoadGrant = -1e18;
+    Ns lastPfGrant = -1e18;
+    PerfCounters ctr;
+    std::uint64_t budget = 0;
+};
+
+} // namespace rho
+
+#endif // RHO_CPU_SIM_CPU_HH

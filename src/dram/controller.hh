@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Memory controller: binds an AddressMapping to a Dimm and exposes
+ * physical-address based timed and functional access.
+ */
+
+#ifndef RHO_DRAM_CONTROLLER_HH
+#define RHO_DRAM_CONTROLLER_HH
+
+#include <memory>
+
+#include "dram/dimm.hh"
+#include "mapping/address_mapping.hh"
+
+namespace rho
+{
+
+/**
+ * Single-channel memory controller. Owns the DIMM; translation uses
+ * the (CPU-specific) AddressMapping.
+ */
+class MemoryController
+{
+  public:
+    MemoryController(AddressMapping mapping, const DimmProfile &profile,
+                     const DramTiming &timing, const TrrConfig &trr_cfg,
+                     const RfmConfig &rfm_cfg = RfmConfig{});
+
+    /** Timed access by physical address. */
+    DramAccessResult access(PhysAddr pa, Ns now);
+
+    /** Functional data path (used to plant and check victim data). */
+    std::uint8_t readByte(PhysAddr pa, Ns now);
+    void writeByte(PhysAddr pa, std::uint8_t value, Ns now);
+
+    const AddressMapping &mapping() const { return map; }
+    Dimm &dimm() { return *dev; }
+    const Dimm &dimm() const { return *dev; }
+
+  private:
+    AddressMapping map;
+    std::unique_ptr<Dimm> dev;
+};
+
+} // namespace rho
+
+#endif // RHO_DRAM_CONTROLLER_HH

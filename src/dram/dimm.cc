@@ -1,0 +1,267 @@
+#include "dram/dimm.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace rho
+{
+
+Dimm::Dimm(const DimmProfile &profile, const DramTiming &timing,
+           const TrrConfig &trr_cfg, const RfmConfig &rfm_cfg)
+    : prof(profile), tim(timing), trr(trr_cfg, profile.geom.flatBanks()),
+      rfm(rfm_cfg, profile.geom.flatBanks()),
+      banks(profile.geom.flatBanks())
+{
+}
+
+void
+Dimm::reset()
+{
+    rows.clear();
+    flips.clear();
+    std::fill(banks.begin(), banks.end(), BankState{});
+    acts = 0;
+    nextTrrTick = 0.0;
+}
+
+Ns
+Dimm::autoRefreshBefore(std::uint64_t row, Ns now) const
+{
+    // The refresh engine sweeps all rows once per tREFW in
+    // refreshSlots bursts; a row's slot is its index modulo the slot
+    // count, giving every row a fixed phase within the window.
+    double slot = static_cast<double>(row % DramTiming::refreshSlots);
+    Ns phase = (slot + 0.5) / DramTiming::refreshSlots * tim.tREFW;
+    double k = std::floor((now - phase) / tim.tREFW);
+    return phase + k * tim.tREFW;
+}
+
+void
+Dimm::applyAutoRefresh(RowState &rs, std::uint64_t row, Ns now)
+{
+    Ns last = autoRefreshBefore(row, now);
+    if (last > rs.lastRefresh) {
+        rs.lastRefresh = last;
+        rs.disturb = 0.0;
+    }
+}
+
+Dimm::RowState &
+Dimm::rowState(std::uint32_t bank, std::uint64_t row, Ns now)
+{
+    auto [it, inserted] = rows.try_emplace(rowKey(bank, row));
+    RowState &rs = it->second;
+    if (inserted)
+        rs.lastRefresh = autoRefreshBefore(row, now);
+    else
+        applyAutoRefresh(rs, row, now);
+    return rs;
+}
+
+std::vector<std::uint8_t> &
+Dimm::materializeData(RowState &rs)
+{
+    if (!rs.data) {
+        rs.data = std::make_unique<std::vector<std::uint8_t>>(
+            prof.geom.rowBytes, rs.fill);
+    }
+    return *rs.data;
+}
+
+void
+Dimm::disturbNeighbour(std::uint32_t bank, std::uint64_t victim,
+                       double weight, Ns now)
+{
+    RowState &rs = rowState(bank, victim, now);
+    rs.disturb += weight;
+
+    if (!rs.cellsInit) {
+        rs.cells = prof.weakCellsFor(bank, victim);
+        rs.flipped.assign(rs.cells.size(), false);
+        rs.cellsInit = true;
+    }
+    if (rs.cells.empty())
+        return;
+
+    for (std::size_t i = 0; i < rs.cells.size(); ++i) {
+        if (rs.flipped[i] || rs.disturb < rs.cells[i].threshold)
+            continue;
+        // Threshold crossed: the cell loses its charged state. The
+        // flip only manifests if the stored bit is in the vulnerable
+        // orientation (true cell storing 1, anti cell storing 0).
+        auto &data = materializeData(rs);
+        const WeakCell &c = rs.cells[i];
+        std::uint32_t byte = c.bitOffset >> 3;
+        std::uint8_t mask = 1u << (c.bitOffset & 7);
+        bool stored_one = data[byte] & mask;
+        if (c.trueCell && stored_one) {
+            data[byte] &= ~mask;
+            flips.push_back({bank, victim, c.bitOffset, false, now});
+        } else if (!c.trueCell && !stored_one) {
+            data[byte] |= mask;
+            flips.push_back({bank, victim, c.bitOffset, true, now});
+        }
+        rs.flipped[i] = true;
+    }
+}
+
+void
+Dimm::refreshNeighbours(std::uint32_t bank, std::uint64_t row, Ns now)
+{
+    for (int d = -2; d <= 2; ++d) {
+        if (d == 0)
+            continue;
+        std::int64_t v = static_cast<std::int64_t>(row) + d;
+        if (v < 0 || v >= static_cast<std::int64_t>(prof.geom.rowsPerBank))
+            continue;
+        RowState &rs = rowState(bank, static_cast<std::uint64_t>(v), now);
+        rs.disturb = 0.0;
+        rs.lastRefresh = now;
+    }
+}
+
+void
+Dimm::processTrrTicks(Ns now)
+{
+    if (nextTrrTick == 0.0)
+        nextTrrTick = tim.tREFI;
+    // If the simulation jumped far ahead (idle phases), fast-forward:
+    // stale counters would have decayed anyway.
+    if (now - nextTrrTick > tim.tREFW) {
+        nextTrrTick = std::floor(now / tim.tREFI) * tim.tREFI;
+    }
+    while (nextTrrTick <= now) {
+        for (const TrrTarget &t : trr.onRefreshTick())
+            refreshNeighbours(t.bank, t.row, nextTrrTick);
+        nextTrrTick += tim.tREFI;
+    }
+}
+
+void
+Dimm::doAct(std::uint32_t bank, std::uint64_t row, Ns now)
+{
+    ++acts;
+    processTrrTicks(now);
+
+    if (auto ptrr = trr.observeAct(bank, row))
+        refreshNeighbours(ptrr->bank, ptrr->row, now);
+
+    // DDR5 refresh management: deterministic per-bank RAA counters
+    // trigger RFM commands that protect recently activated rows.
+    for (const TrrTarget &t : rfm.observeAct(bank, row))
+        refreshNeighbours(t.bank, t.row, now);
+
+    // Activating a row restores the charge of its own cells.
+    RowState &self = rowState(bank, row, now);
+    self.disturb = 0.0;
+    self.lastRefresh = now;
+
+    for (int d = -2; d <= 2; ++d) {
+        if (d == 0)
+            continue;
+        std::int64_t v = static_cast<std::int64_t>(row) + d;
+        if (v < 0 || v >= static_cast<std::int64_t>(prof.geom.rowsPerBank))
+            continue;
+        double w = (d == 1 || d == -1) ? 1.0 : halfDoubleWeight;
+        disturbNeighbour(bank, static_cast<std::uint64_t>(v), w, now);
+    }
+}
+
+DramAccessResult
+Dimm::access(const DramAddr &da, Ns now)
+{
+    if (da.bank >= banks.size())
+        panic("Dimm::access: bank %u out of range", da.bank);
+    if (da.row >= prof.geom.rowsPerBank)
+        panic("Dimm::access: row %llu out of range",
+              static_cast<unsigned long long>(da.row));
+
+    BankState &bk = banks[da.bank];
+    Ns start = std::max(now, bk.readyAt);
+    DramAccessResult res{};
+
+    if (bk.openRow == static_cast<std::int64_t>(da.row)) {
+        // Row-buffer hit: CAS only.
+        Ns done = start + tim.tCL;
+        bk.readyAt = start + 4 * tim.tCK;
+        res = {done - now + tim.busOverhead, true, false};
+    } else {
+        bool conflict = bk.openRow >= 0;
+        // ACT-to-ACT spacing within the bank (tRC) and, on conflict,
+        // the precharge of the currently open row.
+        Ns act_at = std::max(start, bk.lastActAt + tim.tRC);
+        Ns pre = conflict ? tim.tRP : 0.0;
+        Ns done = act_at + pre + tim.tRCD + tim.tCL;
+        bk.lastActAt = act_at + pre;
+        bk.readyAt = act_at + pre + tim.tRCD;
+        bk.openRow = static_cast<std::int64_t>(da.row);
+        doAct(da.bank, da.row, act_at + pre);
+        res = {done - now + tim.busOverhead, false, true};
+    }
+    return res;
+}
+
+void
+Dimm::writeBytes(const DramAddr &da, const std::uint8_t *data,
+                 std::size_t len, Ns now)
+{
+    if (da.col + len > prof.geom.rowBytes)
+        panic("Dimm::writeBytes: write crosses row boundary");
+    RowState &rs = rowState(da.bank, da.row, now);
+    auto &bytes = materializeData(rs);
+    std::copy(data, data + len, bytes.begin() + da.col);
+    // The write activates and restores the row.
+    rs.disturb = 0.0;
+    rs.lastRefresh = now;
+    std::fill(rs.flipped.begin(), rs.flipped.end(), false);
+}
+
+std::uint8_t
+Dimm::readByte(const DramAddr &da, Ns now)
+{
+    RowState &rs = rowState(da.bank, da.row, now);
+    std::uint8_t v = rs.data ? (*rs.data)[da.col] : rs.fill;
+    // Reading activates and restores the row.
+    rs.disturb = 0.0;
+    rs.lastRefresh = now;
+    return v;
+}
+
+void
+Dimm::fillRow(std::uint32_t bank, std::uint64_t row, std::uint8_t pattern,
+              Ns now)
+{
+    RowState &rs = rowState(bank, row, now);
+    rs.fill = pattern;
+    if (rs.data)
+        std::fill(rs.data->begin(), rs.data->end(), pattern);
+    rs.disturb = 0.0;
+    rs.lastRefresh = now;
+    std::fill(rs.flipped.begin(), rs.flipped.end(), false);
+}
+
+std::vector<FlipRecord>
+Dimm::diffRow(std::uint32_t bank, std::uint64_t row, std::uint8_t expected,
+              Ns now)
+{
+    std::vector<FlipRecord> out;
+    RowState &rs = rowState(bank, row, now);
+    if (!rs.data)
+        return out;
+    const auto &bytes = *rs.data;
+    for (std::uint32_t b = 0; b < bytes.size(); ++b) {
+        std::uint8_t diff = bytes[b] ^ expected;
+        while (diff) {
+            unsigned bit_idx = std::countr_zero(diff);
+            diff &= diff - 1;
+            bool to_one = bytes[b] & (1u << bit_idx);
+            out.push_back({bank, row, (b << 3) + bit_idx, to_one, now});
+        }
+    }
+    return out;
+}
+
+} // namespace rho

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Behavioural DDR4 DIMM model: bank/row-buffer timing, periodic
+ * refresh, TRR, and the charge-disturbance mechanism that produces
+ * RowHammer bit flips.
+ *
+ * Flip mechanics: every activation (ACT) of a row disturbs its
+ * neighbours (distance 1 fully, distance 2 attenuated). A row's
+ * accumulated disturbance resets whenever the row itself is activated
+ * or refreshed (auto-refresh sweeps all rows once per tREFW; TRR adds
+ * targeted refreshes). When the accumulated disturbance crosses a weak
+ * cell's threshold, the stored bit flips in the direction determined
+ * by the cell's true/anti orientation.
+ */
+
+#ifndef RHO_DRAM_DIMM_HH
+#define RHO_DRAM_DIMM_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "dram/dimm_profile.hh"
+#include "dram/timing.hh"
+#include "dram/rfm.hh"
+#include "dram/trr.hh"
+#include "mapping/address_mapping.hh"
+
+namespace rho
+{
+
+/** A committed bit flip, for statistics and test introspection. */
+struct FlipRecord
+{
+    std::uint32_t bank;
+    std::uint64_t row;
+    std::uint32_t bitOffset; //!< within the 8 KiB row
+    bool toOne;              //!< flip direction
+    Ns when;
+};
+
+/** Result of a timed DRAM access. */
+struct DramAccessResult
+{
+    Ns latency;   //!< controller-visible latency, ns
+    bool rowHit;  //!< served from the open row buffer
+    bool act;     //!< an ACT was performed (hammer-relevant)
+};
+
+/**
+ * One DIMM: geometry and weak cells from a DimmProfile, timing from a
+ * DramTiming, mitigations from a TrrConfig.
+ */
+class Dimm
+{
+  public:
+    Dimm(const DimmProfile &profile, const DramTiming &timing,
+         const TrrConfig &trr_cfg, const RfmConfig &rfm_cfg = RfmConfig{});
+
+    /** Timed access; advances internal (lazy) refresh machinery. */
+    DramAccessResult access(const DramAddr &da, Ns now);
+
+    /**
+     * Functional data-path write of contiguous bytes within one row,
+     * starting at the byte offset da.col. Activates the row
+     * (resetting its disturbance) as a real write would.
+     */
+    void writeBytes(const DramAddr &da, const std::uint8_t *data,
+                    std::size_t len, Ns now);
+
+    /** Functional read of one byte (flips already applied). */
+    std::uint8_t readByte(const DramAddr &da, Ns now);
+
+    /** Fill an entire row with a repeating byte pattern. */
+    void fillRow(std::uint32_t bank, std::uint64_t row,
+                 std::uint8_t pattern, Ns now);
+
+    /**
+     * Compare a row's stored data against the fill pattern it was
+     * initialized with; returns the bit offsets that differ.
+     */
+    std::vector<FlipRecord> diffRow(std::uint32_t bank, std::uint64_t row,
+                                    std::uint8_t expected, Ns now);
+
+    const DimmProfile &profile() const { return prof; }
+    const DramTiming &timing() const { return tim; }
+    const DimmGeometry &geometry() const { return prof.geom; }
+
+    /** Running log of every committed flip (clearable). */
+    const std::vector<FlipRecord> &flipLog() const { return flips; }
+    void clearFlipLog() { flips.clear(); }
+
+    std::uint64_t totalActs() const { return acts; }
+    std::uint64_t trrRefreshCount() const { return trr.targetedRefreshes(); }
+    std::uint64_t rfmCommandCount() const { return rfm.rfmCommands(); }
+
+    /** Drop all per-row state (fresh device). */
+    void reset();
+
+  private:
+    struct RowState
+    {
+        Ns lastRefresh = -1e18;
+        double disturb = 0.0;
+        bool cellsInit = false;
+        std::vector<WeakCell> cells;
+        std::vector<bool> flipped;
+        std::unique_ptr<std::vector<std::uint8_t>> data;
+        std::uint8_t fill = 0;
+    };
+
+    struct BankState
+    {
+        std::int64_t openRow = -1;
+        Ns readyAt = 0.0;
+        Ns lastActAt = -1e18;
+    };
+
+    static std::uint64_t
+    rowKey(std::uint32_t bank, std::uint64_t row)
+    {
+        return (static_cast<std::uint64_t>(bank) << 40) | row;
+    }
+
+    RowState &rowState(std::uint32_t bank, std::uint64_t row, Ns now);
+    void applyAutoRefresh(RowState &rs, std::uint64_t row, Ns now);
+    Ns autoRefreshBefore(std::uint64_t row, Ns now) const;
+    void refreshNeighbours(std::uint32_t bank, std::uint64_t row, Ns now);
+    void doAct(std::uint32_t bank, std::uint64_t row, Ns now);
+    void disturbNeighbour(std::uint32_t bank, std::uint64_t victim,
+                          double weight, Ns now);
+    void processTrrTicks(Ns now);
+    std::vector<std::uint8_t> &materializeData(RowState &rs);
+
+    const DimmProfile &prof;
+    DramTiming tim;
+    TrrSampler trr;
+    RfmEngine rfm;
+    std::vector<BankState> banks;
+    std::unordered_map<std::uint64_t, RowState> rows;
+    std::vector<FlipRecord> flips;
+    std::uint64_t acts = 0;
+    Ns nextTrrTick = 0.0;
+    double halfDoubleWeight = 0.08;
+};
+
+} // namespace rho
+
+#endif // RHO_DRAM_DIMM_HH

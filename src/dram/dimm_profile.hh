@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Per-DIMM vulnerability profiles (paper Table 2).
+ *
+ * Real DIMMs differ wildly in RowHammer susceptibility: which cells are
+ * weak, their disturbance thresholds (HC_first), and their density vary
+ * by vendor and production date. We model each DIMM as a deterministic
+ * weak-cell field: the weak cells of a row are a pure function of
+ * (profile seed, bank, row), so repeated experiments see the same
+ * physical-location-dependent behaviour the paper reports.
+ */
+
+#ifndef RHO_DRAM_DIMM_PROFILE_HH
+#define RHO_DRAM_DIMM_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace rho
+{
+
+/** DIMM geometry: ranks, banks per rank, rows per bank. */
+struct DimmGeometry
+{
+    unsigned ranks;
+    unsigned banksPerRank;
+    std::uint64_t rowsPerBank;
+    std::uint64_t rowBytes = 8192;
+
+    std::uint32_t flatBanks() const { return ranks * banksPerRank; }
+    std::uint64_t
+    totalBytes() const
+    {
+        return static_cast<std::uint64_t>(flatBanks()) * rowsPerBank
+            * rowBytes;
+    }
+    unsigned sizeGib() const { return totalBytes() >> 30; }
+};
+
+/**
+ * A disturbance-prone cell within a row. Offsets are bit positions
+ * within the 8 KiB row. True cells flip 1 -> 0; anti cells 0 -> 1.
+ */
+struct WeakCell
+{
+    std::uint32_t bitOffset;  //!< 0 .. rowBytes*8-1
+    bool trueCell;            //!< charged state encodes 1
+    std::uint32_t threshold;  //!< disturbance (weighted ACTs) to flip
+};
+
+/**
+ * Static description of one DIMM: identity, geometry, and the
+ * statistical weak-cell field parameters.
+ */
+class DimmProfile
+{
+  public:
+    std::string id;             //!< e.g. "S1"
+    std::string productionDate; //!< e.g. "W35-2023"
+    unsigned freqMts;           //!< rated data rate
+    DimmGeometry geom;
+    std::uint64_t seed;         //!< weak-cell field seed
+
+    // Vulnerability field parameters.
+    bool flippable;             //!< false: no weak cells at all (M1)
+    double weakCellsPerRow;     //!< Poisson mean
+    double hcLogMean;           //!< ln-space threshold location
+    double hcLogSigma;          //!< ln-space threshold spread
+    std::uint32_t hcMin;        //!< lower clamp on thresholds
+
+    /**
+     * Deterministically materialize the weak cells of a row.
+     * Pure function of (seed, bank, row); cheap enough to call lazily.
+     */
+    std::vector<WeakCell> weakCellsFor(std::uint32_t bank,
+                                       std::uint64_t row) const;
+
+    /** Look up one of the seven paper DIMMs: S1..S5, H1, M1. */
+    static const DimmProfile &byId(const std::string &id);
+
+    /** All seven paper DIMMs in Table 2 order. */
+    static const std::vector<const DimmProfile *> &all();
+
+    /**
+     * A DDR5 UDIMM like the paper's section 6 future-work setups
+     * (not part of Table 2): 16 GiB dual-rank DDR5-4800, flippable
+     * cells present but protected by RFM at the device level.
+     */
+    static const DimmProfile &ddr5Sample();
+};
+
+} // namespace rho
+
+#endif // RHO_DRAM_DIMM_PROFILE_HH

@@ -1,0 +1,44 @@
+#include "dram/rfm.hh"
+
+#include <algorithm>
+
+namespace rho
+{
+
+RfmEngine::RfmEngine(const RfmConfig &cfg_, std::uint32_t num_banks)
+    : cfg(cfg_), banks(num_banks)
+{
+}
+
+std::vector<TrrTarget>
+RfmEngine::observeAct(std::uint32_t bank, std::uint64_t row)
+{
+    std::vector<TrrTarget> out;
+    if (!cfg.enabled)
+        return out;
+
+    BankState &b = banks[bank];
+
+    // Recency list: move-to-front of distinct rows.
+    auto it = std::find(b.recent.begin(), b.recent.end(), row);
+    if (it != b.recent.end())
+        b.recent.erase(it);
+    b.recent.insert(b.recent.begin(), row);
+    if (b.recent.size() > cfg.recencyDepth)
+        b.recent.pop_back();
+
+    if (++b.raa >= cfg.raaimt) {
+        b.raa = 0;
+        ++rfms;
+        // The device refreshes the neighbourhoods of the rows it saw
+        // activated most recently — deterministic, so no pattern can
+        // hide its true aggressors from it.
+        unsigned n = std::min<unsigned>(cfg.victimsPerRfm,
+                                        b.recent.size());
+        for (unsigned i = 0; i < n; ++i)
+            out.push_back({bank, b.recent[i]});
+    }
+    return out;
+}
+
+} // namespace rho

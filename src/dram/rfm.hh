@@ -1,0 +1,72 @@
+/**
+ * @file
+ * DDR5 Refresh Management (RFM) model (paper section 6, "Towards
+ * Future Research on DDR5").
+ *
+ * DDR5 devices maintain a Rolling Accumulated ACT (RAA) counter per
+ * bank; when it reaches the RAAIMT threshold the controller must
+ * issue an RFM command, giving the device time to refresh the rows it
+ * considers most at risk. Unlike DDR4 TRR's tiny probabilistic
+ * sampler, the RAA bookkeeping is deterministic and cannot be starved
+ * by decoy churn — which is why the paper (and concurrent work)
+ * observed no effective non-uniform pattern on DDR5 setups.
+ *
+ * The model tracks per-bank RAA counters and a small recency list of
+ * activated rows; every RFM event refreshes the neighbourhood of the
+ * most-recently-activated distinct rows.
+ */
+
+#ifndef RHO_DRAM_RFM_HH
+#define RHO_DRAM_RFM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/trr.hh"
+
+namespace rho
+{
+
+/** DDR5 RFM tunables (JEDEC-style knobs, simplified). */
+struct RfmConfig
+{
+    bool enabled = false;
+    std::uint32_t raaimt = 32;      //!< ACTs per bank between RFMs
+    unsigned victimsPerRfm = 4;     //!< rows protected per RFM
+    unsigned recencyDepth = 16;     //!< distinct rows tracked per bank
+};
+
+/**
+ * Per-bank RAA counters + recency tracking. The owning Dimm feeds it
+ * ACTs; it returns rows whose neighbourhoods must be refreshed when
+ * an RFM fires.
+ */
+class RfmEngine
+{
+  public:
+    RfmEngine(const RfmConfig &cfg, std::uint32_t num_banks);
+
+    /**
+     * Observe one activation.
+     * @return rows to protect now (empty unless an RFM fired).
+     */
+    std::vector<TrrTarget> observeAct(std::uint32_t bank,
+                                      std::uint64_t row);
+
+    std::uint64_t rfmCommands() const { return rfms; }
+
+  private:
+    struct BankState
+    {
+        std::uint32_t raa = 0;
+        std::vector<std::uint64_t> recent; // most recent first
+    };
+
+    RfmConfig cfg;
+    std::vector<BankState> banks;
+    std::uint64_t rfms = 0;
+};
+
+} // namespace rho
+
+#endif // RHO_DRAM_RFM_HH

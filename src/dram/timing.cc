@@ -1,0 +1,62 @@
+#include "dram/timing.hh"
+
+#include "common/logging.hh"
+
+namespace rho
+{
+
+DramTiming
+DramTiming::ddr4(unsigned mtps)
+{
+    // Absolute analog latencies are nearly constant across DDR4 speed
+    // grades; the clock just quantizes them. Typical JEDEC values.
+    DramTiming t{};
+    t.tCK = 2000.0 / static_cast<double>(mtps);
+    switch (mtps) {
+      case 2400:
+        t.tRCD = 13.32; t.tRP = 13.32; t.tCL = 13.32;
+        break;
+      case 2666:
+        t.tRCD = 13.50; t.tRP = 13.50; t.tCL = 13.50;
+        break;
+      case 2933:
+        t.tRCD = 13.64; t.tRP = 13.64; t.tCL = 13.64;
+        break;
+      case 3200:
+        t.tRCD = 13.75; t.tRP = 13.75; t.tCL = 13.75;
+        break;
+      default:
+        fatal("DramTiming::ddr4: unsupported data rate %u", mtps);
+    }
+    t.tRAS = 32.0;
+    t.tRC = t.tRAS + t.tRP;
+    t.tRFC = 350.0;
+    t.busOverhead = 32.0; // core + uncore + controller queueing
+    return t;
+}
+
+DramTiming
+DramTiming::ddr5(unsigned mtps)
+{
+    DramTiming t{};
+    t.tCK = 2000.0 / static_cast<double>(mtps);
+    switch (mtps) {
+      case 4800:
+        t.tRCD = 13.33; t.tRP = 13.33; t.tCL = 13.33;
+        break;
+      case 5600:
+        t.tRCD = 13.57; t.tRP = 13.57; t.tCL = 13.57;
+        break;
+      default:
+        fatal("DramTiming::ddr5: unsupported data rate %u", mtps);
+    }
+    t.tRAS = 32.0;
+    t.tRC = t.tRAS + t.tRP;
+    t.tRFC = 295.0;
+    // DDR5 doubles the refresh rate (paper section 6).
+    t.tREFI = 3900.0;
+    t.busOverhead = 34.0;
+    return t;
+}
+
+} // namespace rho

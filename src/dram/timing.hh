@@ -1,0 +1,55 @@
+/**
+ * @file
+ * DDR4 device timing parameters (nanoseconds).
+ */
+
+#ifndef RHO_DRAM_TIMING_HH
+#define RHO_DRAM_TIMING_HH
+
+#include "common/types.hh"
+
+namespace rho
+{
+
+/**
+ * The subset of DDR4 timings the simulator models. All values in ns.
+ */
+struct DramTiming
+{
+    Ns tCK;   //!< clock period
+    Ns tRCD;  //!< activate to column command
+    Ns tRP;   //!< precharge period
+    Ns tCL;   //!< CAS latency
+    Ns tRAS;  //!< activate to precharge
+    Ns tRC;   //!< activate to activate, same bank
+    Ns tRFC;  //!< refresh command period (rank blocked)
+    Ns tREFI = 7800.0;   //!< average refresh command interval
+    /**
+     * Retention window: every row refreshed once per tREFW. The real
+     * DDR4 value is 64 ms; the simulator uses a 8 ms window so
+     * threshold-scaled experiments complete in tractable budgets
+     * (documented in EXPERIMENTS.md; all rate-vs-threshold races are
+     * preserved, just 8x faster).
+     */
+    Ns tREFW = 8.0e6;
+    Ns busOverhead;      //!< fixed core-to-DRAM round-trip overhead
+
+    /** Number of refresh commands per retention window. */
+    static constexpr unsigned refreshSlots = 1024;
+
+    /**
+     * JEDEC-flavored preset for a given data rate (e.g. 2400, 2666,
+     * 2933, 3200 MT/s) with typical absolute latencies.
+     */
+    static DramTiming ddr4(unsigned mtps);
+
+    /**
+     * DDR5 preset (paper section 6 future-work setups): doubled
+     * refresh rate, 4800/5600 MT/s grades.
+     */
+    static DramTiming ddr5(unsigned mtps);
+};
+
+} // namespace rho
+
+#endif // RHO_DRAM_TIMING_HH

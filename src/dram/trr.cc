@@ -1,0 +1,83 @@
+#include "dram/trr.hh"
+
+#include <algorithm>
+
+namespace rho
+{
+
+TrrSampler::TrrSampler(const TrrConfig &cfg_, std::uint32_t num_banks)
+    : cfg(cfg_), tables(num_banks), rng(cfg_.seed)
+{
+}
+
+std::optional<TrrTarget>
+TrrSampler::observeAct(std::uint32_t bank, std::uint64_t row)
+{
+    std::optional<TrrTarget> ptrr_hit;
+    if (cfg.ptrr && rng.chance(cfg.ptrrSampleProb)) {
+        ++issued;
+        ptrr_hit = TrrTarget{bank, row};
+    }
+
+    if (!cfg.enabled)
+        return ptrr_hit;
+    if (!rng.chance(cfg.sampleProb))
+        return ptrr_hit;
+
+    auto &table = tables[bank];
+    for (auto &e : table) {
+        if (e.row == row) {
+            ++e.count;
+            return ptrr_hit;
+        }
+    }
+    if (table.size() < cfg.counters) {
+        table.push_back({row, 1});
+        return ptrr_hit;
+    }
+    // Misra-Gries: a non-resident sample decrements every counter.
+    // This is the churn non-uniform patterns exploit: enough distinct
+    // decoy rows keep true aggressor counts pinned near zero.
+    for (auto &e : table) {
+        if (e.count > 0)
+            --e.count;
+    }
+    std::erase_if(table, [](const Entry &e) { return e.count == 0; });
+    return ptrr_hit;
+}
+
+std::vector<TrrTarget>
+TrrSampler::onRefreshTick()
+{
+    std::vector<TrrTarget> out;
+    if (!cfg.enabled)
+        return out;
+
+    // Gather rows over threshold across banks, strongest first.
+    struct Cand { std::uint32_t bank; std::size_t idx; std::uint32_t cnt; };
+    std::vector<Cand> cands;
+    for (std::uint32_t b = 0; b < tables.size(); ++b) {
+        for (std::size_t i = 0; i < tables[b].size(); ++i) {
+            if (tables[b][i].count >= cfg.matchThreshold)
+                cands.push_back({b, i, tables[b][i].count});
+        }
+    }
+    std::sort(cands.begin(), cands.end(),
+              [](const Cand &a, const Cand &b) { return a.cnt > b.cnt; });
+
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> to_remove;
+    for (const auto &c : cands) {
+        if (out.size() >= cfg.maxRefreshesPerTick)
+            break;
+        out.push_back({c.bank, tables[c.bank][c.idx].row});
+        to_remove.push_back({c.bank, tables[c.bank][c.idx].row});
+    }
+    for (auto [b, row] : to_remove) {
+        std::erase_if(tables[b],
+                      [row](const Entry &e) { return e.row == row; });
+    }
+    issued += out.size();
+    return out;
+}
+
+} // namespace rho

@@ -1,0 +1,66 @@
+#include "hammer/flip_analysis.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "common/table.hh"
+
+namespace rho
+{
+
+FlipStats
+analyzeFlips(const std::vector<FlipRecord> &flips)
+{
+    FlipStats s;
+    s.bitInQword.assign(64, 0);
+    std::set<std::pair<std::uint32_t, std::uint64_t>> rows;
+    std::set<std::uint32_t> banks;
+    std::map<std::pair<std::uint32_t, std::uint64_t>, std::uint64_t>
+        per_row;
+
+    for (const FlipRecord &f : flips) {
+        ++s.total;
+        if (f.toOne)
+            ++s.toOne;
+        else
+            ++s.toZero;
+        rows.insert({f.bank, f.row});
+        banks.insert(f.bank);
+        unsigned biq = f.bitOffset & 63;
+        ++s.bitInQword[biq];
+        if (biq >= 12 && biq <= 19)
+            ++s.pteExploitable;
+        std::uint64_t &n = per_row[{f.bank, f.row}];
+        ++n;
+        s.maxPerRow = std::max(s.maxPerRow, n);
+    }
+    s.uniqueRows = rows.size();
+    s.uniqueBanks = banks.size();
+    return s;
+}
+
+std::map<std::pair<std::uint32_t, std::uint64_t>, std::uint64_t>
+flipsByRow(const std::vector<FlipRecord> &flips)
+{
+    std::map<std::pair<std::uint32_t, std::uint64_t>, std::uint64_t> m;
+    for (const FlipRecord &f : flips)
+        ++m[{f.bank, f.row}];
+    return m;
+}
+
+std::string
+FlipStats::describe() const
+{
+    std::string out = strFormat(
+        "%llu flips: %llu to-1 / %llu to-0 (%.0f%% to-1), "
+        "%llu rows in %llu banks, worst row %llu, "
+        "PTE-exploitable %llu (%.1f%%)",
+        (unsigned long long)total, (unsigned long long)toOne,
+        (unsigned long long)toZero, toOneRatio() * 100,
+        (unsigned long long)uniqueRows, (unsigned long long)uniqueBanks,
+        (unsigned long long)maxPerRow,
+        (unsigned long long)pteExploitable, exploitableRatio() * 100);
+    return out;
+}
+
+} // namespace rho

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Flip-set analysis utilities: the post-processing real tooling
+ * (Blacksmith and successors) performs on templated flips — direction
+ * ratios, spatial distributions, PTE-exploitability classification,
+ * and per-row clustering.
+ */
+
+#ifndef RHO_HAMMER_FLIP_ANALYSIS_HH
+#define RHO_HAMMER_FLIP_ANALYSIS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dram/dimm.hh"
+
+namespace rho
+{
+
+/** Aggregate statistics over a set of flips. */
+struct FlipStats
+{
+    std::uint64_t total = 0;
+    std::uint64_t toOne = 0;        //!< 0 -> 1 flips (anti cells)
+    std::uint64_t toZero = 0;       //!< 1 -> 0 flips (true cells)
+    std::uint64_t uniqueRows = 0;
+    std::uint64_t uniqueBanks = 0;
+    std::uint64_t maxPerRow = 0;    //!< worst clustered row
+    /** Flips landing in frame bits [12,19] of an aligned 64-bit
+     *  word — the PTE-exploitable subset (paper section 5.3). */
+    std::uint64_t pteExploitable = 0;
+    /** Per-bit-in-qword histogram (64 buckets). */
+    std::vector<std::uint64_t> bitInQword;
+
+    double toOneRatio() const
+    {
+        return total ? double(toOne) / total : 0.0;
+    }
+    double
+    exploitableRatio() const
+    {
+        return total ? double(pteExploitable) / total : 0.0;
+    }
+
+    /** Multi-line human-readable summary. */
+    std::string describe() const;
+};
+
+/** Compute statistics over a flip list. */
+FlipStats analyzeFlips(const std::vector<FlipRecord> &flips);
+
+/** Rows carrying at least min_flips flips, with their counts. */
+std::map<std::pair<std::uint32_t, std::uint64_t>, std::uint64_t>
+flipsByRow(const std::vector<FlipRecord> &flips);
+
+} // namespace rho
+
+#endif // RHO_HAMMER_FLIP_ANALYSIS_HH

@@ -1,0 +1,41 @@
+#include "hammer/nop_tuner.hh"
+
+namespace rho
+{
+
+NopTuneResult
+tuneNops(HammerSession &session, const HammerPattern &pattern,
+         HammerConfig cfg, const std::vector<unsigned> &nop_counts,
+         unsigned locations, std::uint64_t seed)
+{
+    NopTuneResult res;
+    (void)seed;
+
+    // Use the same locations for every point so the sweep compares
+    // like with like (flippability is location-dependent).
+    std::vector<HammerLocation> locs;
+    for (unsigned l = 0; l < locations; ++l)
+        locs.push_back(session.randomLocation(pattern, cfg));
+
+    for (unsigned n : nop_counts) {
+        cfg.barrier = BarrierKind::Nop;
+        cfg.nopCount = n;
+        NopTunePoint pt{n, 0, 0.0, 0.0};
+        double miss_sum = 0.0;
+        for (const auto &loc : locs) {
+            HammerOutcome out = session.hammer(pattern, loc, cfg);
+            pt.flips += out.flips;
+            pt.timeNs += out.perf.timeNs;
+            miss_sum += out.perf.missRate();
+        }
+        pt.missRate = locations ? miss_sum / locations : 0.0;
+        res.curve.push_back(pt);
+        if (pt.flips > res.bestFlips) {
+            res.bestFlips = pt.flips;
+            res.bestNops = n;
+        }
+    }
+    return res;
+}
+
+} // namespace rho

@@ -1,0 +1,70 @@
+#include "hammer/pattern.hh"
+
+#include "common/table.hh"
+
+namespace rho
+{
+
+HammerPattern
+HammerPattern::randomNonUniform(Rng &rng, const PatternParams &params)
+{
+    HammerPattern p;
+    p.patternId = rng.raw();
+    unsigned period = 1u << rng.uniformInt(params.minPeriodLog2,
+                                           params.maxPeriodLog2);
+    p.nPairs = static_cast<unsigned>(
+        rng.uniformInt(params.minPairs, params.maxPairs));
+    p.slotSeq.assign(period, ~0u);
+
+    auto place = [&](unsigned pos, unsigned pair) {
+        for (unsigned k = 0; k < period; ++k) {
+            unsigned s = (pos + k) % period;
+            if (p.slotSeq[s] == ~0u) {
+                p.slotSeq[s] = pair;
+                return;
+            }
+        }
+    };
+
+    for (unsigned pair = 0; pair < p.nPairs; ++pair) {
+        unsigned freq = 1u << rng.uniformInt(0, params.maxFreqLog2);
+        unsigned amp = 1u << rng.uniformInt(0, params.maxAmpLog2);
+        unsigned phase = static_cast<unsigned>(
+            rng.uniformInt(0, period - 1));
+        for (unsigned j = 0; j < freq; ++j) {
+            unsigned pos = (phase + j * (period / freq)) % period;
+            for (unsigned k = 0; k < amp; ++k)
+                place(pos + k, pair);
+        }
+    }
+
+    // Fill the remaining slots with random pairs so every slot
+    // hammers (Blacksmith keeps the bus saturated).
+    for (unsigned s = 0; s < period; ++s) {
+        if (p.slotSeq[s] == ~0u) {
+            p.slotSeq[s] = static_cast<unsigned>(
+                rng.uniformInt(0, p.nPairs - 1));
+        }
+    }
+    return p;
+}
+
+HammerPattern
+HammerPattern::doubleSided(unsigned period_slots)
+{
+    HammerPattern p;
+    p.patternId = 0xd5;
+    p.nPairs = 1;
+    p.slotSeq.assign(period_slots, 0);
+    return p;
+}
+
+std::string
+HammerPattern::describe() const
+{
+    return strFormat("pattern{id=%llx, pairs=%u, period=%zu}",
+                     static_cast<unsigned long long>(patternId), nPairs,
+                     slotSeq.size());
+}
+
+} // namespace rho

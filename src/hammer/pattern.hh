@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Non-uniform hammering patterns in the frequency domain
+ * (Blacksmith-style, paper section 4.1).
+ *
+ * A pattern is a base period of slots; each slot hammers one
+ * double-sided aggressor pair. Pairs carry different frequencies,
+ * phases and amplitudes, so some act as true aggressors and others as
+ * decoys that churn the TRR sampler. Patterns encode only *relative*
+ * row offsets; they are instantiated at a concrete (bank, base row)
+ * location when executed.
+ */
+
+#ifndef RHO_HAMMER_PATTERN_HH
+#define RHO_HAMMER_PATTERN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace rho
+{
+
+/** Generation knobs for the fuzzer. */
+struct PatternParams
+{
+    unsigned minPairs = 4;
+    unsigned maxPairs = 14;
+    unsigned minPeriodLog2 = 5; //!< 32 slots
+    unsigned maxPeriodLog2 = 7; //!< 128 slots
+    unsigned maxFreqLog2 = 3;   //!< up to 8 appearances per period
+    unsigned maxAmpLog2 = 2;    //!< up to 4 consecutive repeats
+};
+
+/** A frequency-domain aggressor schedule. */
+class HammerPattern
+{
+  public:
+    /** Pseudo-random non-uniform pattern (the fuzzer's generator). */
+    static HammerPattern randomNonUniform(
+        Rng &rng, const PatternParams &params = PatternParams{});
+
+    /** Classic uniform double-sided hammering (TRR catches this). */
+    static HammerPattern doubleSided(unsigned period_slots = 64);
+
+    /** Slot sequence: pair index hammered at each slot. */
+    const std::vector<unsigned> &slots() const { return slotSeq; }
+
+    unsigned numPairs() const { return nPairs; }
+
+    /**
+     * Row offset (relative to the location base row) of the first
+     * aggressor of a pair; the second aggressor sits at +2 and the
+     * main victim at +1.
+     */
+    unsigned
+    pairRowOffset(unsigned pair) const
+    {
+        return pair * pairStride;
+    }
+
+    /** Rows per pair footprint (aggressors + guard). */
+    unsigned stride() const { return pairStride; }
+
+    /** Total footprint of the pattern in rows. */
+    unsigned
+    footprintRows() const
+    {
+        return nPairs * pairStride + 3;
+    }
+
+    std::uint64_t id() const { return patternId; }
+    std::string describe() const;
+
+  private:
+    std::vector<unsigned> slotSeq;
+    unsigned nPairs = 0;
+    unsigned pairStride = 4;
+    std::uint64_t patternId = 0;
+};
+
+} // namespace rho
+
+#endif // RHO_HAMMER_PATTERN_HH

@@ -1,0 +1,40 @@
+#include "hammer/pattern_fuzzer.hh"
+
+namespace rho
+{
+
+PatternFuzzer::PatternFuzzer(HammerSession &session_, std::uint64_t seed)
+    : session(session_), rng(seed)
+{
+}
+
+FuzzResult
+PatternFuzzer::run(const HammerConfig &cfg, const FuzzParams &params)
+{
+    FuzzResult res;
+    Ns t0 = session.system().now();
+
+    for (unsigned i = 0; i < params.numPatterns; ++i) {
+        HammerPattern pattern =
+            HammerPattern::randomNonUniform(rng, params.patternParams);
+        std::uint64_t pattern_flips = 0;
+        for (unsigned l = 0; l < params.locationsPerPattern; ++l) {
+            HammerLocation loc = session.randomLocation(pattern, cfg);
+            HammerOutcome out = session.hammer(pattern, loc, cfg);
+            pattern_flips += out.flips;
+            res.dramAccesses += out.perf.dramAccesses;
+        }
+        if (pattern_flips > 0) {
+            ++res.effectivePatterns;
+            res.totalFlips += pattern_flips;
+        }
+        if (pattern_flips > res.bestPatternFlips) {
+            res.bestPatternFlips = pattern_flips;
+            res.bestPattern = pattern;
+        }
+    }
+    res.simTimeNs = session.system().now() - t0;
+    return res;
+}
+
+} // namespace rho

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The fuzzing operation (paper section 4.1): generate pseudo-random
+ * non-uniform patterns, trial each at a few physical locations, and
+ * track total/best bit flips — the metric reported in Table 6 and
+ * Fig. 9.
+ */
+
+#ifndef RHO_HAMMER_PATTERN_FUZZER_HH
+#define RHO_HAMMER_PATTERN_FUZZER_HH
+
+#include <optional>
+
+#include "hammer/hammer_session.hh"
+
+namespace rho
+{
+
+/** Fuzzing campaign sizing. */
+struct FuzzParams
+{
+    unsigned numPatterns = 40;
+    unsigned locationsPerPattern = 3;
+    PatternParams patternParams;
+};
+
+/** Campaign outcome (Table 6 reports totalFlips, bestPatternFlips). */
+struct FuzzResult
+{
+    std::uint64_t totalFlips = 0;      //!< across all effective patterns
+    std::uint64_t bestPatternFlips = 0;
+    std::optional<HammerPattern> bestPattern;
+    unsigned effectivePatterns = 0;    //!< patterns with >=1 flip
+    Ns simTimeNs = 0.0;
+    std::uint64_t dramAccesses = 0;
+};
+
+/** Drives fuzzing campaigns over a HammerSession. */
+class PatternFuzzer
+{
+  public:
+    PatternFuzzer(HammerSession &session, std::uint64_t seed);
+
+    FuzzResult run(const HammerConfig &cfg, const FuzzParams &params);
+
+  private:
+    HammerSession &session;
+    Rng rng;
+};
+
+} // namespace rho
+
+#endif // RHO_HAMMER_PATTERN_FUZZER_HH

@@ -1,0 +1,38 @@
+#include "hammer/sweep.hh"
+
+namespace rho
+{
+
+SweepResult
+sweep(HammerSession &session, const HammerPattern &pattern,
+      const HammerConfig &cfg, unsigned num_locations, std::uint64_t seed)
+{
+    SweepResult res;
+    Rng rng(seed);
+    MemorySystem &sys = session.system();
+    const auto &geom = sys.dimm().geometry();
+
+    Ns t0 = sys.now();
+    std::uint64_t span = pattern.footprintRows() + 8;
+    for (unsigned l = 0; l < num_locations; ++l) {
+        HammerLocation loc;
+        loc.bank = static_cast<std::uint32_t>(
+            rng.uniformInt(0, geom.flatBanks() - 1));
+        // Non-repeating rows: stride the bank space deterministically.
+        std::uint64_t region =
+            (geom.rowsPerBank - 16) / std::max<std::uint64_t>(span, 1);
+        std::uint64_t slot = (l * 2654435761ULL) % region;
+        loc.baseRow = 8 + slot * span;
+
+        HammerOutcome out = session.hammer(pattern, loc, cfg);
+        res.totalFlips += out.flips;
+        res.flipsPerLocation.push_back(out.flips);
+        res.cumulativeTimeNs.push_back(sys.now() - t0);
+        for (const auto &f : out.flipList)
+            res.flipList.push_back(f);
+    }
+    res.simTimeNs = sys.now() - t0;
+    return res;
+}
+
+} // namespace rho

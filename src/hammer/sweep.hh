@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The sweeping operation (paper sections 4.1 and 5.3): apply one
+ * effective pattern at many distinct physical locations, simulating
+ * the templating phase of a real exploit and yielding the flip-rate
+ * metric of Fig. 11.
+ */
+
+#ifndef RHO_HAMMER_SWEEP_HH
+#define RHO_HAMMER_SWEEP_HH
+
+#include <vector>
+
+#include "hammer/hammer_session.hh"
+
+namespace rho
+{
+
+/** Per-location and cumulative sweep results. */
+struct SweepResult
+{
+    std::vector<std::uint64_t> flipsPerLocation;
+    std::vector<Ns> cumulativeTimeNs; //!< after each location
+    std::uint64_t totalFlips = 0;
+    Ns simTimeNs = 0.0;
+    std::vector<FlipRecord> flipList;
+
+    /** Average flips per minute of simulated attack time. */
+    double
+    flipsPerMinute() const
+    {
+        return simTimeNs > 0.0
+            ? totalFlips / (simTimeNs / 60e9)
+            : 0.0;
+    }
+};
+
+/**
+ * Sweep a pattern over `num_locations` non-repeating locations.
+ * Locations are drawn deterministically from `seed` so different
+ * configurations can sweep identical physical rows (the paper
+ * controls base addresses when comparing).
+ */
+SweepResult sweep(HammerSession &session, const HammerPattern &pattern,
+                  const HammerConfig &cfg, unsigned num_locations,
+                  std::uint64_t seed);
+
+} // namespace rho
+
+#endif // RHO_HAMMER_SWEEP_HH

@@ -1,0 +1,59 @@
+#include "hammer/tuned_configs.hh"
+
+#include "common/logging.hh"
+
+namespace rho
+{
+
+unsigned
+tunedNopCount(Arch arch)
+{
+    switch (arch) {
+      case Arch::CometLake: return 450;
+      case Arch::RocketLake: return 500;
+      case Arch::AlderLake: return 800;
+      case Arch::RaptorLake: return 800;
+    }
+    panic("tunedNopCount: bad arch");
+}
+
+unsigned
+tunedBankCount(Arch arch)
+{
+    switch (arch) {
+      case Arch::CometLake: return 3;
+      case Arch::RocketLake: return 3;
+      case Arch::AlderLake: return 2;
+      case Arch::RaptorLake: return 2;
+    }
+    panic("tunedBankCount: bad arch");
+}
+
+HammerConfig
+rhoConfig(Arch arch, bool multibank, std::uint64_t access_budget)
+{
+    HammerConfig cfg;
+    cfg.instr = HammerInstr::PrefetchNta;
+    cfg.mode = AddressingMode::CppIndexed;
+    cfg.numBanks = multibank ? tunedBankCount(arch) : 1;
+    cfg.obfuscate = true;
+    cfg.barrier = BarrierKind::Nop;
+    cfg.nopCount = tunedNopCount(arch);
+    cfg.accessBudget = access_budget;
+    return cfg;
+}
+
+HammerConfig
+baselineConfig(Arch arch, bool multibank, std::uint64_t access_budget)
+{
+    HammerConfig cfg;
+    cfg.instr = HammerInstr::Load;
+    cfg.mode = AddressingMode::CppIndexed;
+    cfg.numBanks = multibank ? tunedBankCount(arch) : 1;
+    cfg.obfuscate = false;
+    cfg.barrier = BarrierKind::None;
+    cfg.accessBudget = access_budget;
+    return cfg;
+}
+
+} // namespace rho

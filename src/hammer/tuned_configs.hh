@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Canonical attack configurations per platform.
+ *
+ * rhoHammer's tuning phase (section 4.4) sweeps the NOP pseudo-barrier
+ * size and the bank count per platform; these helpers return the
+ * tuned results for the four evaluated machines so experiments and
+ * examples don't repeat the sweep. The baseline configurations mirror
+ * the original Blacksmith/ZenHammer load-based hammering.
+ */
+
+#ifndef RHO_HAMMER_TUNED_CONFIGS_HH
+#define RHO_HAMMER_TUNED_CONFIGS_HH
+
+#include "hammer/hammer_session.hh"
+
+namespace rho
+{
+
+/** Platform-optimal NOP pseudo-barrier size (tuning-phase output). */
+unsigned tunedNopCount(Arch arch);
+
+/** Platform-optimal multi-bank replication factor. */
+unsigned tunedBankCount(Arch arch);
+
+/**
+ * Full rhoHammer configuration: prefetch-based hammering with
+ * control-flow obfuscation and tuned NOP pseudo-barriers.
+ *
+ * @param multibank single-bank (rho-S) vs optimal multi-bank (rho-M).
+ */
+HammerConfig rhoConfig(Arch arch, bool multibank,
+                       std::uint64_t access_budget = 400000);
+
+/**
+ * Load-based baseline (Blacksmith-style, no barriers).
+ *
+ * @param multibank single-bank (BL-S) vs multi-bank (BL-M).
+ */
+HammerConfig baselineConfig(Arch arch, bool multibank,
+                            std::uint64_t access_budget = 400000);
+
+} // namespace rho
+
+#endif // RHO_HAMMER_TUNED_CONFIGS_HH

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Physical-address to DRAM-address mapping.
+ *
+ * Modern memory controllers translate physical addresses into
+ * (bank, row, column) coordinates with a linear map over GF(2):
+ * each bank bit is the XOR of a set of physical address bits (a "bank
+ * function"), and row/column indices are gathered from (possibly
+ * shared) physical bits. This module models such mappings exactly,
+ * including decode (phys -> dram) and encode (dram -> phys, via linear
+ * solving), which the attack layers use to place aggressors.
+ */
+
+#ifndef RHO_MAPPING_ADDRESS_MAPPING_HH
+#define RHO_MAPPING_ADDRESS_MAPPING_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/gf2.hh"
+#include "common/types.hh"
+
+namespace rho
+{
+
+/** Geographic DRAM coordinates. Bank is flat across ranks/groups. */
+struct DramAddr
+{
+    std::uint32_t bank = 0;
+    std::uint64_t row = 0;
+    std::uint64_t col = 0;
+
+    bool
+    operator==(const DramAddr &o) const
+    {
+        return bank == o.bank && row == o.row && col == o.col;
+    }
+};
+
+/**
+ * A linear DRAM address mapping.
+ *
+ * Invariants: the union of {bank functions as rows, row bits, column
+ * bits} must form a square full-rank GF(2) system so that the mapping
+ * is bijective over the covered physical address space.
+ */
+class AddressMapping
+{
+  public:
+    /**
+     * @param phys_bits total number of physical address bits covered
+     *        (memory size = 2^phys_bits bytes).
+     * @param bank_fn_masks one mask per bank bit; mask bit j selects
+     *        physical bit j into the XOR.
+     * @param row_bits physical bit positions forming the row index
+     *        (ascending significance).
+     * @param col_bits physical bit positions forming the column index.
+     */
+    AddressMapping(unsigned phys_bits,
+                   std::vector<std::uint64_t> bank_fn_masks,
+                   std::vector<unsigned> row_bits,
+                   std::vector<unsigned> col_bits);
+
+    unsigned physBits() const { return nPhysBits; }
+    std::uint64_t memBytes() const { return 1ULL << nPhysBits; }
+    unsigned numBankFns() const { return bankFns.size(); }
+    std::uint32_t numBanks() const { return 1u << bankFns.size(); }
+    std::uint64_t numRows() const { return 1ULL << rowBits.size(); }
+    std::uint64_t numCols() const { return 1ULL << colBits.size(); }
+
+    const std::vector<std::uint64_t> &bankFnMasks() const
+    {
+        return bankFns;
+    }
+    const std::vector<unsigned> &rowBitPositions() const
+    {
+        return rowBits;
+    }
+    const std::vector<unsigned> &colBitPositions() const
+    {
+        return colBits;
+    }
+
+    /** Translate a physical address into DRAM coordinates. */
+    DramAddr decode(PhysAddr pa) const;
+
+    /**
+     * Construct the physical address of the given DRAM coordinates.
+     * Exact inverse of decode() (mapping is bijective by construction).
+     */
+    PhysAddr encode(const DramAddr &da) const;
+
+    /** Shorthand: physical address of (bank, row) at column 0. */
+    PhysAddr
+    rowToPhys(std::uint32_t bank, std::uint64_t row) const
+    {
+        return encode({bank, row, 0});
+    }
+
+    /** @return true iff decode() is a bijection (full-rank system). */
+    bool isBijective() const { return bijective; }
+
+    /** Human-readable summary, Table 4 style. */
+    std::string describe() const;
+
+    /**
+     * Structural equality of the *mapping function* (not representation):
+     * two mappings are equivalent if they induce the same bank
+     * partition (same span of bank functions) and the same row
+     * classification. Used to validate reverse-engineering results.
+     */
+    bool sameBankAndRowStructure(const AddressMapping &o) const;
+
+  private:
+    unsigned nPhysBits;
+    std::vector<std::uint64_t> bankFns;
+    std::vector<unsigned> rowBits;
+    std::vector<unsigned> colBits;
+    std::shared_ptr<const Gf2Solver> solver; // shared: mapping is copyable
+    bool bijective;
+};
+
+} // namespace rho
+
+#endif // RHO_MAPPING_ADDRESS_MAPPING_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ground-truth DRAM address mappings per architecture (paper Table 4)
+ * and the machine inventory (paper Table 1).
+ */
+
+#ifndef RHO_MAPPING_MAPPING_PRESETS_HH
+#define RHO_MAPPING_MAPPING_PRESETS_HH
+
+#include <array>
+#include <string>
+
+#include "common/rng.hh"
+#include "mapping/address_mapping.hh"
+
+namespace rho
+{
+
+/** The four evaluated Intel micro-architectures (paper Table 1). */
+enum class Arch
+{
+    CometLake,  // i7-10700K, 10th gen
+    RocketLake, // i7-11700, 11th gen
+    AlderLake,  // i9-12900, 12th gen
+    RaptorLake, // i7-14700K, 14th gen
+};
+
+/** All architectures, in generation order. */
+constexpr std::array<Arch, 4> allArchs = {
+    Arch::CometLake, Arch::RocketLake, Arch::AlderLake, Arch::RaptorLake
+};
+
+/** Short display name, e.g. "Comet Lake". */
+std::string archName(Arch arch);
+
+/** CPU model string from Table 1, e.g. "i7-10700K". */
+std::string archCpu(Arch arch);
+
+/** Max memory frequency (MT/s) from Table 1. */
+unsigned archMemFreq(Arch arch);
+
+/**
+ * Ground-truth mapping for an architecture and DRAM geometry
+ * (paper Table 4). Comet/Rocket Lake share one scheme; Alder/Raptor
+ * Lake share another with wider, more numerous bank functions.
+ *
+ * @param size_gib total DIMM capacity: 8, 16 or 32.
+ * @param ranks number of ranks: 1 (8 GiB) or 2 (16/32 GiB).
+ */
+AddressMapping mappingFor(Arch arch, unsigned size_gib, unsigned ranks);
+
+/**
+ * Generate a random—but structurally valid—mapping for property
+ * testing the reverse-engineering algorithms. The result is bijective,
+ * has the requested number of bank functions, contiguous row bits and
+ * low column bits; a configurable number of functions exclude row bits
+ * (low-order functions such as (9,11,13) on Alder/Raptor).
+ */
+AddressMapping randomizedMapping(Rng &rng, unsigned phys_bits,
+                                 unsigned num_bank_fns,
+                                 unsigned num_non_row_fns);
+
+} // namespace rho
+
+#endif // RHO_MAPPING_MAPPING_PRESETS_HH

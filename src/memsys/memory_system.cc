@@ -1,0 +1,43 @@
+#include "memsys/memory_system.hh"
+
+#include <algorithm>
+
+namespace rho
+{
+
+MemorySystem::MemorySystem(Arch arch, const DimmProfile &dimm,
+                           const TrrConfig &trr_cfg, std::uint64_t seed,
+                           const RfmConfig &rfm_cfg)
+    : MemorySystem(arch, dimm,
+                   mappingFor(arch, dimm.geom.sizeGib(), dimm.geom.ranks),
+                   trr_cfg, seed, rfm_cfg)
+{
+}
+
+MemorySystem::MemorySystem(Arch arch, const DimmProfile &dimm,
+                           AddressMapping mapping, const TrrConfig &trr_cfg,
+                           std::uint64_t seed, const RfmConfig &rfm_cfg)
+    : archId(arch), params(&ArchParams::forArch(arch))
+{
+    // The platform clamps the DIMM to its supported data rate; DDR5
+    // parts (>= 4000 MT/s rating) use the DDR5 timing preset.
+    bool ddr5 = dimm.freqMts >= 4000;
+    unsigned mts = ddr5 ? dimm.freqMts
+                        : std::min(dimm.freqMts, archMemFreq(arch));
+    mc = std::make_unique<MemoryController>(
+        std::move(mapping), dimm,
+        ddr5 ? DramTiming::ddr5(mts) : DramTiming::ddr4(mts), trr_cfg,
+        rfm_cfg);
+    (void)seed;
+}
+
+Ns
+MemorySystem::dramAccess(PhysAddr pa, Ns now)
+{
+    Ns t = std::max(clock, now);
+    DramAccessResult res = mc->access(pa, t);
+    clock = t;
+    return res.latency;
+}
+
+} // namespace rho

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * MemorySystem: the composition root tying one architecture (mapping +
+ * core parameters) to one DIMM behind a memory controller, with a
+ * global simulated clock.
+ */
+
+#ifndef RHO_MEMSYS_MEMORY_SYSTEM_HH
+#define RHO_MEMSYS_MEMORY_SYSTEM_HH
+
+#include <memory>
+
+#include "cpu/arch_params.hh"
+#include "cpu/sim_cpu.hh"
+#include "dram/controller.hh"
+#include "mapping/mapping_presets.hh"
+
+namespace rho
+{
+
+/**
+ * One simulated machine: CPU architecture + single-channel DIMM.
+ * Implements MemoryBackend so SimCpu kernels can drive it, and keeps
+ * a monotone global clock so successive experiment phases observe a
+ * consistent refresh/TRR timeline.
+ */
+class MemorySystem : public MemoryBackend
+{
+  public:
+    /**
+     * @param arch platform (selects mapping scheme + core model).
+     * @param dimm DIMM profile (geometry, timing grade, weak cells).
+     * @param trr_cfg mitigation configuration.
+     * @param seed randomness for the core model.
+     */
+    MemorySystem(Arch arch, const DimmProfile &dimm,
+                 const TrrConfig &trr_cfg = TrrConfig{},
+                 std::uint64_t seed = 1,
+                 const RfmConfig &rfm_cfg = RfmConfig{});
+
+    /**
+     * Build with an explicit mapping (used by reverse-engineering
+     * property tests that randomize the mapping).
+     */
+    MemorySystem(Arch arch, const DimmProfile &dimm,
+                 AddressMapping mapping, const TrrConfig &trr_cfg,
+                 std::uint64_t seed,
+                 const RfmConfig &rfm_cfg = RfmConfig{});
+
+    // MemoryBackend
+    Ns dramAccess(PhysAddr pa, Ns now) override;
+
+    /** Current global simulated time. */
+    Ns now() const { return clock; }
+
+    /** Advance the clock (idle time between experiment phases). */
+    void advance(Ns dt) { clock += dt; }
+
+    /** Fold a CPU-run end time into the global clock. */
+    void syncTo(Ns t) { clock = std::max(clock, t); }
+
+    Arch arch() const { return archId; }
+    const ArchParams &cpuParams() const { return *params; }
+    const AddressMapping &mapping() const { return mc->mapping(); }
+    MemoryController &controller() { return *mc; }
+    Dimm &dimm() { return mc->dimm(); }
+    const Dimm &dimm() const { return mc->dimm(); }
+
+    /** Functional data path at the current clock. */
+    std::uint8_t readByte(PhysAddr pa) { return mc->readByte(pa, clock); }
+    void
+    writeByte(PhysAddr pa, std::uint8_t v)
+    {
+        mc->writeByte(pa, v, clock);
+    }
+
+  private:
+    Arch archId;
+    const ArchParams *params;
+    std::unique_ptr<MemoryController> mc;
+    Ns clock = 0.0;
+};
+
+} // namespace rho
+
+#endif // RHO_MEMSYS_MEMORY_SYSTEM_HH

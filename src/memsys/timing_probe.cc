@@ -1,0 +1,33 @@
+#include "memsys/timing_probe.hh"
+
+namespace rho
+{
+
+TimingProbe::TimingProbe(MemorySystem &sys_, std::uint64_t seed,
+                         Ns noise_sigma, Ns loop_overhead_ns)
+    : sys(sys_), rng(seed), noiseSigma(noise_sigma),
+      loopOverhead(loop_overhead_ns)
+{
+}
+
+double
+TimingProbe::measurePair(PhysAddr a, PhysAddr b, unsigned rounds)
+{
+    double total = 0.0;
+    std::uint64_t n = 0;
+    for (unsigned r = 0; r < rounds; ++r) {
+        for (PhysAddr pa : {a, b}) {
+            // clflush + access + fence measurement iteration.
+            sys.advance(loopOverhead);
+            Ns lat = sys.dramAccess(pa, sys.now());
+            sys.advance(lat);
+            total += lat;
+            ++n;
+        }
+    }
+    accesses += n;
+    double avg = total / static_cast<double>(n);
+    return avg + rng.normal(0.0, noiseSigma);
+}
+
+} // namespace rho

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The SBDR (same-bank different-row) timing side channel.
+ *
+ * Reverse engineering measures the average access latency of address
+ * pairs: same-row and different-bank pairs are served by open row
+ * buffers (fast), while same-bank different-row pairs force a
+ * precharge + activate on every access (slow). The probe models the
+ * rdtscp-based measurement loop, including timer noise.
+ */
+
+#ifndef RHO_MEMSYS_TIMING_PROBE_HH
+#define RHO_MEMSYS_TIMING_PROBE_HH
+
+#include "common/rng.hh"
+#include "memsys/memory_system.hh"
+
+namespace rho
+{
+
+/** Measurement front end for the row-conflict side channel. */
+class TimingProbe
+{
+  public:
+    /**
+     * @param noise_sigma gaussian jitter (ns) added to every averaged
+     *        measurement, modelling rdtscp and system noise.
+     * @param loop_overhead_ns per-access instruction overhead of the
+     *        flush+access+fence measurement loop.
+     */
+    TimingProbe(MemorySystem &sys, std::uint64_t seed,
+                Ns noise_sigma = 1.2, Ns loop_overhead_ns = 12.0);
+
+    /**
+     * Average per-access latency (ns) of alternately accessing a and
+     * b, each address accessed `rounds` times, flushed in between.
+     */
+    double measurePair(PhysAddr a, PhysAddr b, unsigned rounds = 50);
+
+    /** Total timed accesses so far (cost accounting for Table 5). */
+    std::uint64_t accessCount() const { return accesses; }
+
+    MemorySystem &system() { return sys; }
+
+  private:
+    MemorySystem &sys;
+    Rng rng;
+    Ns noiseSigma;
+    Ns loopOverhead;
+    std::uint64_t accesses = 0;
+};
+
+} // namespace rho
+
+#endif // RHO_MEMSYS_TIMING_PROBE_HH

@@ -1,0 +1,109 @@
+#include "os/buddy_allocator.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace rho
+{
+
+BuddyAllocator::BuddyAllocator(std::uint64_t mem_bytes,
+                               double reserved_frac, std::uint64_t seed)
+    : memSize(mem_bytes), numPages(mem_bytes / pageBytes),
+      freeLists(maxOrder + 1)
+{
+    if (!isPow2(mem_bytes) || mem_bytes < (pageBytes << maxOrder))
+        fatal("BuddyAllocator: memory size must be a power of two and "
+              ">= one max-order block");
+
+    // Seed the free lists with max-order blocks.
+    std::uint64_t block_pages = 1ULL << maxOrder;
+    for (std::uint64_t p = 0; p < numPages; p += block_pages)
+        freeLists[maxOrder].insert(p);
+
+    // Punch reserved holes: small blocks scattered across memory.
+    Rng rng(seed);
+    std::uint64_t reserved_target =
+        static_cast<std::uint64_t>(reserved_frac * numPages);
+    std::uint64_t reserved = 0;
+    while (reserved < reserved_target) {
+        unsigned order = static_cast<unsigned>(rng.uniformInt(0, 4));
+        auto blk = alloc(order);
+        if (!blk)
+            break;
+        reserved += 1ULL << order;
+    }
+}
+
+std::optional<PhysAddr>
+BuddyAllocator::alloc(unsigned order)
+{
+    if (order > maxOrder)
+        return std::nullopt;
+
+    unsigned from = order;
+    while (from <= maxOrder && freeLists[from].empty())
+        ++from;
+    if (from > maxOrder)
+        return std::nullopt;
+
+    std::uint64_t page = *freeLists[from].begin();
+    freeLists[from].erase(freeLists[from].begin());
+
+    // Split down to the requested order, freeing the upper halves.
+    while (from > order) {
+        --from;
+        std::uint64_t buddy = page + (1ULL << from);
+        freeLists[from].insert(buddy);
+    }
+    return page * pageBytes;
+}
+
+void
+BuddyAllocator::free(PhysAddr addr, unsigned order)
+{
+    if (addr % (pageBytes << order) != 0)
+        panic("BuddyAllocator::free: misaligned block");
+    std::uint64_t page = pageIndexOf(addr);
+
+    while (order < maxOrder) {
+        std::uint64_t buddy = page ^ (1ULL << order);
+        auto it = freeLists[order].find(buddy);
+        if (it == freeLists[order].end())
+            break;
+        freeLists[order].erase(it);
+        page = std::min(page, buddy);
+        ++order;
+    }
+    freeLists[order].insert(page);
+}
+
+std::uint64_t
+BuddyAllocator::freeBytes() const
+{
+    std::uint64_t pages = 0;
+    for (unsigned o = 0; o <= maxOrder; ++o)
+        pages += freeLists[o].size() << o;
+    return pages * pageBytes;
+}
+
+std::size_t
+BuddyAllocator::freeBlocksAt(unsigned order) const
+{
+    return freeLists[order].size();
+}
+
+std::vector<std::pair<PhysAddr, unsigned>>
+BuddyAllocator::drainBelow(unsigned min_order)
+{
+    std::vector<std::pair<PhysAddr, unsigned>> drained;
+    for (unsigned o = 0; o < min_order && o <= maxOrder; ++o) {
+        while (!freeLists[o].empty()) {
+            std::uint64_t page = *freeLists[o].begin();
+            freeLists[o].erase(freeLists[o].begin());
+            drained.push_back({page * pageBytes, o});
+        }
+    }
+    return drained;
+}
+
+} // namespace rho

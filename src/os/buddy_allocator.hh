@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Linux-style buddy allocator over the simulated physical address
+ * space.
+ *
+ * The end-to-end exploit (paper section 5.3) relies on massaging the
+ * kernel's physical page allocator: exhausting low orders to obtain
+ * 4 MiB-contiguous regions as an unprivileged user, and steering a
+ * page-table page into a previously templated victim frame. This
+ * model reproduces the allocator mechanics those techniques depend
+ * on: per-order free lists, splitting, and buddy coalescing.
+ */
+
+#ifndef RHO_OS_BUDDY_ALLOCATOR_HH
+#define RHO_OS_BUDDY_ALLOCATOR_HH
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace rho
+{
+
+/** Physical frame allocator with per-order free lists. */
+class BuddyAllocator
+{
+  public:
+    /** Largest block order (2^10 pages = 4 MiB), as in Linux. */
+    static constexpr unsigned maxOrder = 10;
+
+    /**
+     * @param mem_bytes size of physical memory (power of two).
+     * @param reserved_frac fraction of memory pre-reserved in small
+     *        scattered blocks (kernel text/data, firmware holes),
+     *        making the initial free layout realistic.
+     * @param seed randomness for the reserved holes.
+     */
+    BuddyAllocator(std::uint64_t mem_bytes, double reserved_frac = 0.03,
+                   std::uint64_t seed = 0xb0dd1);
+
+    /** Allocate a 2^order-page block; lowest-address-first policy. */
+    std::optional<PhysAddr> alloc(unsigned order);
+
+    /** Allocate one 4 KiB page. */
+    std::optional<PhysAddr> allocPage() { return alloc(0); }
+
+    /** Return a block to the allocator (coalesces buddies). */
+    void free(PhysAddr addr, unsigned order);
+
+    /** Free bytes remaining. */
+    std::uint64_t freeBytes() const;
+
+    /** Number of free blocks at exactly this order. */
+    std::size_t freeBlocksAt(unsigned order) const;
+
+    /**
+     * Exhaust every free block of order < min_order (allocating them
+     * to the caller). Afterwards any page-sized allocation must split
+     * a high-order block, which is the contiguity guarantee the
+     * exploit's templating phase uses.
+     *
+     * @return the drained blocks so the caller can free them later.
+     */
+    std::vector<std::pair<PhysAddr, unsigned>>
+    drainBelow(unsigned min_order);
+
+    std::uint64_t memBytes() const { return memSize; }
+
+  private:
+    std::uint64_t pageIndexOf(PhysAddr a) const { return a / pageBytes; }
+
+    std::uint64_t memSize;
+    std::uint64_t numPages;
+    // Free lists hold page indices (block base), kept sorted so
+    // allocation order is deterministic.
+    std::vector<std::set<std::uint64_t>> freeLists;
+};
+
+} // namespace rho
+
+#endif // RHO_OS_BUDDY_ALLOCATOR_HH

@@ -1,0 +1,81 @@
+#include "os/page_table.hh"
+
+#include "common/logging.hh"
+
+namespace rho
+{
+
+PageTableManager::PageTableManager(MemorySystem &sys_,
+                                   BuddyAllocator &buddy_)
+    : sys(sys_), buddy(buddy_)
+{
+}
+
+std::uint64_t
+PageTableManager::readQword(PhysAddr pa)
+{
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < 8; ++i) {
+        v |= static_cast<std::uint64_t>(sys.readByte(pa + i)) << (8 * i);
+    }
+    return v;
+}
+
+void
+PageTableManager::writeQword(PhysAddr pa, std::uint64_t value)
+{
+    for (unsigned i = 0; i < 8; ++i)
+        sys.writeByte(pa + i, static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+void
+PageTableManager::mapPage(std::uint64_t pid, VirtAddr va, PhysAddr pa,
+                          bool writable)
+{
+    TableKey key = keyFor(pid, va);
+    auto it = ptPages.find(key);
+    if (it == ptPages.end()) {
+        auto pt = buddy.allocPage();
+        if (!pt)
+            fatal("PageTableManager: out of memory for PT page");
+        it = ptPages.emplace(key, *pt).first;
+        // Zero the fresh table through the data path.
+        for (unsigned i = 0; i < 512; ++i)
+            writeQword(*pt + i * 8, 0);
+    }
+    unsigned idx = (va >> 12) & 0x1ff;
+    writeQword(it->second + idx * 8, pte::make(pa, writable));
+}
+
+std::optional<PhysAddr>
+PageTableManager::pteAddrOf(std::uint64_t pid, VirtAddr va)
+{
+    auto it = ptPages.find(keyFor(pid, va));
+    if (it == ptPages.end())
+        return std::nullopt;
+    unsigned idx = (va >> 12) & 0x1ff;
+    return it->second + idx * 8;
+}
+
+std::optional<PhysAddr>
+PageTableManager::ptPageOf(std::uint64_t pid, VirtAddr va)
+{
+    auto it = ptPages.find(keyFor(pid, va));
+    if (it == ptPages.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::optional<PhysAddr>
+PageTableManager::translate(std::uint64_t pid, VirtAddr va)
+{
+    auto pte_addr = pteAddrOf(pid, va);
+    if (!pte_addr)
+        return std::nullopt;
+    std::uint64_t e = readQword(*pte_addr);
+    if (!(e & pte::presentBit))
+        return std::nullopt;
+    return pte::frameOf(e) | (va & (pageBytes - 1));
+}
+
+} // namespace rho

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Page-table substrate for the end-to-end PTE corruption attack.
+ *
+ * Leaf page tables live in simulated DRAM: every PTE is stored through
+ * the memory controller's data path, so RowHammer bit flips in a
+ * page-table page genuinely corrupt translations, exactly the effect
+ * the exploit (paper section 5.3) relies on.
+ */
+
+#ifndef RHO_OS_PAGE_TABLE_HH
+#define RHO_OS_PAGE_TABLE_HH
+
+#include <map>
+#include <optional>
+
+#include "memsys/memory_system.hh"
+#include "os/buddy_allocator.hh"
+
+namespace rho
+{
+
+/** x86-64 style PTE encoding (simplified). */
+namespace pte
+{
+constexpr std::uint64_t presentBit = 1ULL << 0;
+constexpr std::uint64_t writableBit = 1ULL << 1;
+constexpr std::uint64_t userBit = 1ULL << 2;
+constexpr std::uint64_t frameMask = 0x000ffffffffff000ULL;
+
+constexpr std::uint64_t
+make(PhysAddr frame, bool writable)
+{
+    return (frame & frameMask) | presentBit | userBit |
+           (writable ? writableBit : 0);
+}
+
+constexpr PhysAddr frameOf(std::uint64_t e) { return e & frameMask; }
+} // namespace pte
+
+/**
+ * Manages leaf page-table pages (512 PTEs each, covering 2 MiB of
+ * virtual space) for all simulated processes.
+ */
+class PageTableManager
+{
+  public:
+    PageTableManager(MemorySystem &sys, BuddyAllocator &buddy);
+
+    /** Install a translation; allocates the PT page on first touch. */
+    void mapPage(std::uint64_t pid, VirtAddr va, PhysAddr pa,
+                 bool writable);
+
+    /**
+     * MMU walk: reads the PTE from simulated DRAM, so hammered flips
+     * take effect. @return target physical address, if present.
+     */
+    std::optional<PhysAddr> translate(std::uint64_t pid, VirtAddr va);
+
+    /** Physical address of the leaf PTE for (pid, va). */
+    std::optional<PhysAddr> pteAddrOf(std::uint64_t pid, VirtAddr va);
+
+    /** Physical base of the PT page covering (pid, va), if any. */
+    std::optional<PhysAddr> ptPageOf(std::uint64_t pid, VirtAddr va);
+
+    /** Raw PTE read/write through the DRAM data path. */
+    std::uint64_t readQword(PhysAddr pa);
+    void writeQword(PhysAddr pa, std::uint64_t value);
+
+    std::uint64_t ptPagesAllocated() const { return ptPages.size(); }
+
+  private:
+    using TableKey = std::pair<std::uint64_t, VirtAddr>;
+
+    TableKey
+    keyFor(std::uint64_t pid, VirtAddr va) const
+    {
+        return {pid, va & ~((pageBytes << 9) - 1)}; // 2 MiB region
+    }
+
+    MemorySystem &sys;
+    BuddyAllocator &buddy;
+    std::map<TableKey, PhysAddr> ptPages;
+};
+
+} // namespace rho
+
+#endif // RHO_OS_PAGE_TABLE_HH

@@ -1,0 +1,129 @@
+#include "os/pagemap.hh"
+
+#include "common/logging.hh"
+
+namespace rho
+{
+
+AddressSpace::AddressSpace(BuddyAllocator &buddy_) : buddy(buddy_)
+{
+}
+
+AddressSpace::~AddressSpace()
+{
+    for (auto [va, pa] : pages)
+        buddy.free(pa, 0);
+}
+
+VirtAddr
+AddressSpace::mmap(std::uint64_t bytes)
+{
+    std::uint64_t npages = (bytes + pageBytes - 1) / pageBytes;
+    VirtAddr base = nextVirt;
+    for (std::uint64_t i = 0; i < npages; ++i) {
+        auto pa = buddy.allocPage();
+        if (!pa)
+            fatal("AddressSpace::mmap: out of physical memory");
+        VirtAddr va = base + i * pageBytes;
+        pages[va] = *pa;
+        reverse[*pa] = va;
+    }
+    nextVirt = base + npages * pageBytes + pageBytes; // guard gap
+    return base;
+}
+
+std::optional<VirtAddr>
+AddressSpace::mmapContiguous(unsigned order)
+{
+    auto pa = buddy.alloc(order);
+    if (!pa)
+        return std::nullopt;
+    std::uint64_t npages = 1ULL << order;
+    VirtAddr base = nextVirt;
+    for (std::uint64_t i = 0; i < npages; ++i) {
+        VirtAddr va = base + i * pageBytes;
+        PhysAddr p = *pa + i * pageBytes;
+        pages[va] = p;
+        reverse[p] = va;
+    }
+    nextVirt = base + npages * pageBytes + pageBytes;
+    return base;
+}
+
+void
+AddressSpace::munmapPage(VirtAddr va)
+{
+    auto it = pages.find(pageOf(va));
+    if (it == pages.end())
+        panic("AddressSpace::munmapPage: page not mapped");
+    reverse.erase(it->second);
+    buddy.free(it->second, 0);
+    pages.erase(it);
+}
+
+std::optional<PhysAddr>
+AddressSpace::virtToPhys(VirtAddr va) const
+{
+    auto it = pages.find(pageOf(va));
+    if (it == pages.end())
+        return std::nullopt;
+    return it->second + (va & (pageBytes - 1));
+}
+
+std::optional<VirtAddr>
+AddressSpace::physToVirt(PhysAddr pa) const
+{
+    auto it = reverse.find(pageOf(pa));
+    if (it == reverse.end())
+        return std::nullopt;
+    return it->second + (pa & (pageBytes - 1));
+}
+
+PhysPool::PhysPool(BuddyAllocator &buddy, double fraction)
+    : memBytes(buddy.memBytes())
+{
+    std::uint64_t total_pages = memBytes / pageBytes;
+    ownedBitmap.assign(total_pages, false);
+    std::uint64_t target =
+        static_cast<std::uint64_t>(fraction * total_pages);
+    while (pageList.size() < target) {
+        // Grab large blocks first (fast and realistic: the kernel
+        // serves large anonymous mappings from high orders).
+        auto blk = buddy.alloc(BuddyAllocator::maxOrder);
+        unsigned order = BuddyAllocator::maxOrder;
+        if (!blk) {
+            blk = buddy.allocPage();
+            order = 0;
+            if (!blk)
+                break;
+        }
+        std::uint64_t npages = 1ULL << order;
+        for (std::uint64_t i = 0; i < npages; ++i) {
+            PhysAddr pa = *blk + i * pageBytes;
+            ownedBitmap[pa / pageBytes] = true;
+            pageList.push_back(pa);
+        }
+    }
+}
+
+std::optional<PhysAddr>
+PhysPool::pairBase(Rng &rng, std::uint64_t diff_mask,
+                   unsigned max_tries) const
+{
+    for (unsigned i = 0; i < max_tries; ++i) {
+        PhysAddr a = randomAddr(rng);
+        PhysAddr b = a ^ diff_mask;
+        if (b < memBytes && contains(b))
+            return a;
+    }
+    return std::nullopt;
+}
+
+double
+PhysPool::coverage() const
+{
+    return static_cast<double>(pageList.size())
+        / (memBytes / pageBytes);
+}
+
+} // namespace rho

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Process address-space model with a /proc/pid/pagemap-style
+ * virtual-to-physical query interface, plus the large physical page
+ * pool the reverse-engineering phase allocates.
+ */
+
+#ifndef RHO_OS_PAGEMAP_HH
+#define RHO_OS_PAGEMAP_HH
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hh"
+#include "os/buddy_allocator.hh"
+
+namespace rho
+{
+
+/**
+ * A process's mapped pages. mmap() takes frames from the buddy
+ * allocator; virtToPhys models the root-only pagemap interface.
+ */
+class AddressSpace
+{
+  public:
+    explicit AddressSpace(BuddyAllocator &buddy);
+    ~AddressSpace();
+
+    AddressSpace(const AddressSpace &) = delete;
+    AddressSpace &operator=(const AddressSpace &) = delete;
+
+    /** Map `bytes` of memory in 4 KiB pages; returns the virtual base. */
+    VirtAddr mmap(std::uint64_t bytes);
+
+    /**
+     * Map a physically contiguous block of 2^order pages (obtained by
+     * buddy-allocator massaging in real exploits).
+     * @return nullopt if no such block is free.
+     */
+    std::optional<VirtAddr> mmapContiguous(unsigned order);
+
+    /** Unmap and free the page at this virtual page address. */
+    void munmapPage(VirtAddr va);
+
+    /** pagemap lookup (requires root on real systems). */
+    std::optional<PhysAddr> virtToPhys(VirtAddr va) const;
+
+    /** Reverse lookup within this address space. */
+    std::optional<VirtAddr> physToVirt(PhysAddr pa) const;
+
+    std::uint64_t mappedPages() const { return pages.size(); }
+
+  private:
+    BuddyAllocator &buddy;
+    std::map<VirtAddr, PhysAddr> pages;       // per page base
+    std::unordered_map<PhysAddr, VirtAddr> reverse;
+    VirtAddr nextVirt = 0x7f0000000000ULL;
+};
+
+/**
+ * The reverse-engineering memory pool: a large fraction of physical
+ * memory owned in 4 KiB pages, with fast membership and sampling.
+ */
+class PhysPool
+{
+  public:
+    /**
+     * Allocate pages until `fraction` of physical memory is owned
+     * (or the allocator runs dry).
+     */
+    PhysPool(BuddyAllocator &buddy, double fraction);
+
+    /** Does the pool own the page containing pa? */
+    bool
+    contains(PhysAddr pa) const
+    {
+        std::uint64_t idx = pa / pageBytes;
+        return idx < ownedBitmap.size() && ownedBitmap[idx];
+    }
+
+    /** A uniformly random owned byte address. */
+    PhysAddr
+    randomAddr(Rng &rng) const
+    {
+        PhysAddr page = pageList[rng.uniformInt(0, pageList.size() - 1)];
+        return page + rng.uniformInt(0, pageBytes - 1);
+    }
+
+    /**
+     * Find an owned pair differing exactly in the given bit mask.
+     * @return base address, or nullopt after max_tries failures.
+     */
+    std::optional<PhysAddr> pairBase(Rng &rng, std::uint64_t diff_mask,
+                                     unsigned max_tries = 4096) const;
+
+    double coverage() const;
+    std::uint64_t ownedPages() const { return pageList.size(); }
+
+  private:
+    std::vector<bool> ownedBitmap;
+    std::vector<PhysAddr> pageList;
+    std::uint64_t memBytes;
+};
+
+} // namespace rho
+
+#endif // RHO_OS_PAGEMAP_HH

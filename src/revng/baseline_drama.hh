@@ -1,0 +1,52 @@
+/**
+ * @file
+ * DRAMA-style brute-force reverse engineering baseline
+ * (Pessl et al., USENIX Security 2016), as reimplemented for the
+ * Table 5 comparison.
+ *
+ * Method: time random address pairs to group addresses into bank
+ * sets ("coloring"), then exhaustively search small XOR functions
+ * that are constant within every set. Its documented assumptions -
+ * small per-function bit counts, a bounded candidate-bit range, and
+ * pure high-order row bits - fail on the mappings of all four
+ * evaluated machines, matching the paper's "-" entries.
+ */
+
+#ifndef RHO_REVNG_BASELINE_DRAMA_HH
+#define RHO_REVNG_BASELINE_DRAMA_HH
+
+#include "revng/reverse_engineer.hh"
+
+namespace rho
+{
+
+/** Knobs reflecting the original tool's defaults. */
+struct DramaConfig
+{
+    unsigned sampleAddrs = 768;  //!< addresses to color
+    unsigned maxFnBits = 2;      //!< brute-force function size cap
+    unsigned maxBit = 30;        //!< candidate bank-bit upper bound
+    unsigned lowestBit = 6;
+    Ns setupCostPerPageNs = 1500.0;
+};
+
+/** The baseline driver. */
+class DramaReverseEngineer
+{
+  public:
+    DramaReverseEngineer(TimingProbe &probe, const PhysPool &pool,
+                         std::uint64_t seed,
+                         DramaConfig cfg = DramaConfig{});
+
+    MappingRecovery run();
+
+  private:
+    TimingProbe &probe;
+    const PhysPool &pool;
+    Rng rng;
+    DramaConfig cfg;
+};
+
+} // namespace rho
+
+#endif // RHO_REVNG_BASELINE_DRAMA_HH

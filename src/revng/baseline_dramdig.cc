@@ -1,0 +1,182 @@
+#include "revng/baseline_dramdig.hh"
+
+#include <algorithm>
+#include <bit>
+#include <functional>
+
+#include "common/bits.hh"
+#include "common/stats.hh"
+
+namespace rho
+{
+
+DramDigReverseEngineer::DramDigReverseEngineer(TimingProbe &probe_,
+                                               const PhysPool &pool_,
+                                               std::uint64_t seed,
+                                               DramDigConfig cfg_)
+    : probe(probe_), pool(pool_), rng(seed), cfg(cfg_)
+{
+}
+
+MappingRecovery
+DramDigReverseEngineer::run()
+{
+    MemorySystem &sys = probe.system();
+    Ns t0 = sys.now();
+    std::uint64_t acc0 = probe.accessCount();
+    MappingRecovery out;
+
+    sys.advance(static_cast<Ns>(pool.ownedPages()) *
+                cfg.setupCostPerPageNs);
+
+    Histogram hist(20.0, 140.0, 240);
+    for (unsigned i = 0; i < 800; ++i) {
+        hist.add(probe.measurePair(pool.randomAddr(rng),
+                                   pool.randomAddr(rng), 8));
+    }
+    double thres = hist.separatingThreshold(0.005);
+    out.thresholdNs = thres;
+
+    unsigned phys_bits = sys.mapping().physBits();
+
+    // Knowledge-assisted step: find and exclude pure row bits.
+    std::vector<unsigned> pure_row, non_pure;
+    for (unsigned b = cfg.lowestBit; b < phys_bits; ++b) {
+        auto base = pool.pairBase(rng, 1ULL << b);
+        if (!base)
+            continue;
+        double t = 0;
+        for (int k = 0; k < 4; ++k)
+            t += probe.measurePair(*base, *base ^ (1ULL << b), 25);
+        if (t / 4 > thres)
+            pure_row.push_back(b);
+        else
+            non_pure.push_back(b);
+    }
+
+    if (pure_row.empty()) {
+        // The tool's core assumption: pure row bits must exist to
+        // bound the brute-force space. On Alder/Raptor they do not.
+        out.failureReason = "premature exit: no pure row bits";
+        out.simTimeNs = sys.now() - t0;
+        out.timedAccesses = probe.accessCount() - acc0;
+        return out;
+    }
+
+    // Exhaustive coloring of the entire pool into banks. A detailed
+    // sample is simulated; the remaining pages are charged at the
+    // tool's per-page coloring cost.
+    std::vector<std::vector<PhysAddr>> groups;
+    for (unsigned i = 0; i < cfg.coloredSample; ++i) {
+        PhysAddr a = pool.randomAddr(rng);
+        bool placed = false;
+        for (auto &g : groups) {
+            if (probe.measurePair(a, g.front(), 10) > thres) {
+                g.push_back(a);
+                placed = true;
+                break;
+            }
+        }
+        if (!placed)
+            groups.push_back({a});
+    }
+    std::uint64_t rest = pool.ownedPages() > cfg.coloredSample
+        ? pool.ownedPages() - cfg.coloredSample : 0;
+    sys.advance(static_cast<Ns>(rest) * cfg.colorCostPerPageNs);
+
+    // Brute-force XOR functions over the non-pure-row bits, smallest
+    // first, testing parity constancy within every colored bank set.
+    auto constant_in_groups = [&](std::uint64_t mask) {
+        for (const auto &g : groups) {
+            std::uint64_t p0 = parity(g.front(), mask);
+            for (PhysAddr a : g) {
+                if (parity(a, mask) != p0)
+                    return false;
+            }
+        }
+        return true;
+    };
+
+    std::vector<std::uint64_t> candidates;
+    std::vector<unsigned> bits = non_pure;
+    // Size-2 .. size-maxFnBits subsets (size-1 cannot exist after the
+    // pure-row exclusion: a single constant bit would be a bank bit
+    // used alone, which duet-style coloring already separates).
+    std::vector<unsigned> idx;
+    std::function<void(std::size_t, unsigned)> enumerate =
+        [&](std::size_t start, unsigned remaining) {
+            if (idx.size() >= 2) {
+                std::uint64_t mask = 0;
+                for (unsigned i : idx)
+                    mask |= 1ULL << bits[i];
+                if (constant_in_groups(mask))
+                    candidates.push_back(mask);
+            }
+            if (remaining == 0)
+                return;
+            for (std::size_t i = start; i < bits.size(); ++i) {
+                idx.push_back(static_cast<unsigned>(i));
+                enumerate(i + 1, remaining - 1);
+                idx.pop_back();
+            }
+        };
+    enumerate(0, cfg.maxFnBits);
+    // Each tested subset costs a verification measurement.
+    std::uint64_t tested = 0;
+    for (unsigned k = 2; k <= cfg.maxFnBits; ++k) {
+        std::uint64_t c = 1;
+        for (unsigned i = 0; i < k; ++i)
+            c = c * (bits.size() - i) / (i + 1);
+        tested += c;
+    }
+    sys.advance(static_cast<Ns>(tested) * 2000.0);
+
+    std::sort(candidates.begin(), candidates.end(),
+              [](std::uint64_t a, std::uint64_t b) {
+                  unsigned pa = std::popcount(a), pb = std::popcount(b);
+                  return pa != pb ? pa < pb : a < b;
+              });
+    std::vector<std::uint64_t> basis;
+    for (std::uint64_t c : candidates) {
+        Gf2Matrix m(phys_bits);
+        for (auto b : basis)
+            m.addRow(b);
+        m.addRow(c);
+        if (m.rank() == basis.size() + 1)
+            basis.push_back(c);
+    }
+
+    std::size_t expected_fns = 0;
+    while ((1ULL << expected_fns) < groups.size())
+        ++expected_fns;
+    if (basis.size() != expected_fns) {
+        out.failureReason = "function basis does not explain bank sets";
+        out.simTimeNs = sys.now() - t0;
+        out.timedAccesses = probe.accessCount() - acc0;
+        return out;
+    }
+    out.bankFns = basis;
+
+    // Split row-inclusive functions: flipping all bits of such a
+    // function keeps the bank but changes the row (SBDR).
+    std::vector<unsigned> rows = pure_row;
+    for (std::uint64_t fn : basis) {
+        auto base = pool.pairBase(rng, fn);
+        if (!base)
+            continue;
+        if (probe.measurePair(*base, *base ^ fn, 25) > thres) {
+            auto fn_bits = bitsOfMask(fn);
+            rows.push_back(fn_bits.back());
+        }
+    }
+    std::sort(rows.begin(), rows.end());
+    rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+    out.rowBits = rows;
+
+    out.success = true;
+    out.simTimeNs = sys.now() - t0;
+    out.timedAccesses = probe.accessCount() - acc0;
+    return out;
+}
+
+} // namespace rho

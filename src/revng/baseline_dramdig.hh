@@ -1,0 +1,57 @@
+/**
+ * @file
+ * DRAMDig-style knowledge-assisted baseline (Wang et al., DAC 2020)
+ * for the Table 5 comparison.
+ *
+ * Method: identify and exclude pure row bits first, color *all*
+ * allocated memory into banks, then brute-force XOR functions over
+ * the remaining bits. Correct where its layout assumptions hold
+ * (Comet/Rocket Lake), but two orders of magnitude slower than
+ * rhoHammer because of the exhaustive coloring; aborts on
+ * Alder/Raptor Lake where no pure row bits exist.
+ */
+
+#ifndef RHO_REVNG_BASELINE_DRAMDIG_HH
+#define RHO_REVNG_BASELINE_DRAMDIG_HH
+
+#include "revng/reverse_engineer.hh"
+
+namespace rho
+{
+
+/** Measurement-budget knobs for the DRAMDig model. */
+struct DramDigConfig
+{
+    unsigned lowestBit = 6;
+    unsigned coloredSample = 1200;  //!< addresses simulated in detail
+    /**
+     * Per-page cost of the full-memory coloring sweep (the tool
+     * times every allocated page against bank representatives, with
+     * verification rounds); charged analytically for the pool pages
+     * beyond coloredSample.
+     */
+    Ns colorCostPerPageNs = 120000.0;
+    unsigned maxFnBits = 4;
+    Ns setupCostPerPageNs = 1500.0;
+};
+
+/** The baseline driver. */
+class DramDigReverseEngineer
+{
+  public:
+    DramDigReverseEngineer(TimingProbe &probe, const PhysPool &pool,
+                           std::uint64_t seed,
+                           DramDigConfig cfg = DramDigConfig{});
+
+    MappingRecovery run();
+
+  private:
+    TimingProbe &probe;
+    const PhysPool &pool;
+    Rng rng;
+    DramDigConfig cfg;
+};
+
+} // namespace rho
+
+#endif // RHO_REVNG_BASELINE_DRAMDIG_HH

@@ -1,0 +1,209 @@
+#include "revng/reverse_engineer.hh"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace rho
+{
+
+bool
+sameFnSpan(const std::vector<std::uint64_t> &a,
+           const std::vector<std::uint64_t> &b, unsigned bits)
+{
+    if (a.size() != b.size())
+        return false;
+    Gf2Matrix ma(bits);
+    for (auto fn : a)
+        ma.addRow(fn);
+    unsigned rank_a = ma.rank();
+    if (rank_a != a.size())
+        return false;
+    // Equal-dimension spans are equal iff adding any vector of b does
+    // not increase the rank.
+    for (auto fn : b) {
+        Gf2Matrix ext(bits);
+        for (auto f2 : a)
+            ext.addRow(f2);
+        ext.addRow(fn);
+        if (ext.rank() != rank_a)
+            return false;
+    }
+    return true;
+}
+
+bool
+MappingRecovery::matches(const AddressMapping &truth) const
+{
+    if (!success)
+        return false;
+    if (rowBits != truth.rowBitPositions())
+        return false;
+    return sameFnSpan(bankFns, truth.bankFnMasks(), truth.physBits());
+}
+
+RhoReverseEngineer::RhoReverseEngineer(TimingProbe &probe_,
+                                       const PhysPool &pool_,
+                                       std::uint64_t seed,
+                                       ReverseEngineerConfig cfg_)
+    : probe(probe_), pool(pool_), rng(seed), cfg(cfg_)
+{
+}
+
+double
+RhoReverseEngineer::tSbdr(std::uint64_t diff_mask)
+{
+    RunningStat stat;
+    for (unsigned i = 0; i < cfg.pairsPerMeasurement; ++i) {
+        auto base = pool.pairBase(rng, diff_mask);
+        if (!base)
+            continue;
+        stat.add(probe.measurePair(*base, *base ^ diff_mask,
+                                   cfg.roundsPerPair));
+    }
+    if (stat.count() == 0) {
+        warn("tSbdr: no owned pair for mask %llx",
+             static_cast<unsigned long long>(diff_mask));
+        return 0.0;
+    }
+    return stat.mean();
+}
+
+double
+RhoReverseEngineer::findThreshold()
+{
+    // Probability-distribution method: random pairs fall into two
+    // assembly areas (SBDR and non-SBDR); split them at the widest
+    // density gap. The SBDR fraction is roughly 1/(#banks-1), so the
+    // upper mode is small but well separated.
+    Histogram hist(20.0, 140.0, 240);
+    for (unsigned i = 0; i < cfg.thresholdPairs; ++i) {
+        PhysAddr a = pool.randomAddr(rng);
+        PhysAddr b = pool.randomAddr(rng);
+        hist.add(probe.measurePair(a, b, 8));
+    }
+    return hist.separatingThreshold(0.005);
+}
+
+MappingRecovery
+RhoReverseEngineer::run()
+{
+    MemorySystem &sys = probe.system();
+    Ns t0 = sys.now();
+    std::uint64_t acc0 = probe.accessCount();
+
+    MappingRecovery out;
+
+    // Charge the (dominant) setup cost: allocating ~70% of physical
+    // memory in 4 KiB pages and reading their pagemap entries.
+    sys.advance(static_cast<Ns>(pool.ownedPages()) *
+                cfg.setupCostPerPageNs);
+
+    // Step 0: threshold.
+    double thres = findThreshold();
+    out.thresholdNs = thres;
+
+    unsigned phys_bits = sys.mapping().physBits();
+    std::vector<unsigned> all_bits;
+    for (unsigned b = cfg.lowestBit; b < phys_bits; ++b)
+        all_bits.push_back(b);
+
+    // Exclude pure row bits: a single-bit difference that is slow can
+    // only be a row bit outside every bank function.
+    std::vector<unsigned> pure_row, non_pure;
+    for (unsigned b : all_bits) {
+        if (tSbdr(1ULL << b) > thres)
+            pure_row.push_back(b);
+        else
+            non_pure.push_back(b);
+    }
+
+    // Step 1: Duet. SBDR iff both bits share one bank function and at
+    // least one of them is a row bit.
+    std::vector<std::pair<unsigned, unsigned>> fn_pairs;
+    std::vector<unsigned> row_bits = pure_row;
+    for (std::size_t i = 0; i < non_pure.size(); ++i) {
+        for (std::size_t j = i + 1; j < non_pure.size(); ++j) {
+            unsigned bx = non_pure[i], by = non_pure[j];
+            if (tSbdr((1ULL << bx) | (1ULL << by)) > thres) {
+                fn_pairs.push_back({bx, by});
+                row_bits.push_back(std::max(bx, by));
+            }
+        }
+    }
+
+    if (fn_pairs.empty()) {
+        out.failureReason = "no row-inclusive bank functions found";
+        out.simTimeNs = sys.now() - t0;
+        out.timedAccesses = probe.accessCount() - acc0;
+        return out;
+    }
+
+    std::sort(row_bits.begin(), row_bits.end());
+    row_bits.erase(std::unique(row_bits.begin(), row_bits.end()),
+                   row_bits.end());
+
+    // Step 2: Trios. Borrow an SBDR state from a row-inclusive
+    // function; a third differing bit that is a bank bit breaks it.
+    auto [bf, bf2] = fn_pairs.front();
+    std::uint64_t borrow = (1ULL << bf) | (1ULL << bf2);
+    std::vector<unsigned> non_row_bank;
+    for (unsigned bx : non_pure) {
+        if (bx == bf || bx == bf2)
+            continue;
+        if (std::binary_search(row_bits.begin(), row_bits.end(), bx))
+            continue;
+        if (tSbdr(borrow | (1ULL << bx)) < thres)
+            non_row_bank.push_back(bx);
+    }
+
+    // Step 3: Quartet. Two non-row bank bits in the same function
+    // cancel out and preserve the borrowed SBDR state.
+    for (std::size_t i = 0; i < non_row_bank.size(); ++i) {
+        for (std::size_t j = i + 1; j < non_row_bank.size(); ++j) {
+            unsigned bx = non_row_bank[i], by = non_row_bank[j];
+            std::uint64_t m = borrow | (1ULL << bx) | (1ULL << by);
+            if (tSbdr(m) > thres)
+                fn_pairs.push_back({bx, by});
+        }
+    }
+
+    // Merge pairs into functions (union-find over bits).
+    std::map<unsigned, unsigned> parent;
+    std::function<unsigned(unsigned)> find = [&](unsigned x) {
+        auto it = parent.find(x);
+        if (it == parent.end() || it->second == x)
+            return x;
+        unsigned r = find(it->second);
+        parent[x] = r;
+        return r;
+    };
+    for (auto [a, b] : fn_pairs) {
+        parent.try_emplace(a, a);
+        parent.try_emplace(b, b);
+        unsigned ra = find(a), rb = find(b);
+        if (ra != rb)
+            parent[ra] = rb;
+    }
+    std::map<unsigned, std::uint64_t> groups;
+    for (auto &[bit, _] : parent)
+        groups[find(bit)] |= 1ULL << bit;
+
+    for (auto &[root, mask] : groups)
+        out.bankFns.push_back(mask);
+    std::sort(out.bankFns.begin(), out.bankFns.end());
+    out.rowBits = row_bits;
+
+    out.success = !out.bankFns.empty() && !out.rowBits.empty();
+    if (!out.success)
+        out.failureReason = "incomplete structure";
+    out.simTimeNs = sys.now() - t0;
+    out.timedAccesses = probe.accessCount() - acc0;
+    return out;
+}
+
+} // namespace rho

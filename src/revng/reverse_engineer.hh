@@ -1,0 +1,81 @@
+/**
+ * @file
+ * rhoHammer's DRAM address-mapping reverse engineering (paper
+ * Algorithm 1): selective pairwise SBDR measurements with structured
+ * deduction (Duet / Trios / Quartet), layout-agnostic and polynomial
+ * in the number of physical address bits.
+ */
+
+#ifndef RHO_REVNG_REVERSE_ENGINEER_HH
+#define RHO_REVNG_REVERSE_ENGINEER_HH
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "memsys/timing_probe.hh"
+#include "os/pagemap.hh"
+
+namespace rho
+{
+
+/** Measurement-budget knobs (paper defaults in section 3.3). */
+struct ReverseEngineerConfig
+{
+    unsigned pairsPerMeasurement = 16; //!< random pairs per T_SBDR
+    unsigned roundsPerPair = 50;       //!< accesses per address
+    unsigned thresholdPairs = 1200;    //!< random pairs for step 0
+    unsigned lowestBit = 6;            //!< cache-line bits never matter
+    /** Modelled mmap+pagemap setup cost per pooled 4 KiB page. */
+    Ns setupCostPerPageNs = 1500.0;
+};
+
+/** Outcome of a mapping-recovery run (any tool). */
+struct MappingRecovery
+{
+    bool success = false;
+    std::string failureReason;
+    std::vector<std::uint64_t> bankFns;
+    std::vector<unsigned> rowBits; //!< ascending
+    double thresholdNs = 0.0;
+    Ns simTimeNs = 0.0;            //!< total simulated runtime
+    std::uint64_t timedAccesses = 0;
+
+    /**
+     * Compare against ground truth: row bits must match exactly and
+     * the bank functions must span the same GF(2) space.
+     */
+    bool matches(const AddressMapping &truth) const;
+};
+
+/** GF(2) span equality of two bank-function sets. */
+bool sameFnSpan(const std::vector<std::uint64_t> &a,
+                const std::vector<std::uint64_t> &b, unsigned bits);
+
+/** Algorithm 1. */
+class RhoReverseEngineer
+{
+  public:
+    RhoReverseEngineer(TimingProbe &probe, const PhysPool &pool,
+                       std::uint64_t seed,
+                       ReverseEngineerConfig cfg = ReverseEngineerConfig{});
+
+    /** Run the full recovery. */
+    MappingRecovery run();
+
+  private:
+    /** T_SBDR(M, diff_mask): averaged pairwise timing, in ns. */
+    double tSbdr(std::uint64_t diff_mask);
+
+    /** Step 0: find the SBDR/non-SBDR separating threshold. */
+    double findThreshold();
+
+    TimingProbe &probe;
+    const PhysPool &pool;
+    Rng rng;
+    ReverseEngineerConfig cfg;
+};
+
+} // namespace rho
+
+#endif // RHO_REVNG_REVERSE_ENGINEER_HH

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Tests for the speculative CPU timing model: asynchronous prefetch
+ * semantics, the flush/prefetch disorder hazard (paper Fig. 7), fence
+ * semantics, NOP pseudo-barriers, addressing-mode effects and the
+ * per-architecture parameter trends.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/arch_params.hh"
+#include "cpu/cache_model.hh"
+#include "cpu/kernel.hh"
+#include "cpu/sim_cpu.hh"
+
+using namespace rho;
+
+namespace
+{
+
+/** Fixed-latency DRAM stub recording accesses. */
+class StubMemory : public MemoryBackend
+{
+  public:
+    explicit StubMemory(Ns latency = 60.0) : lat(latency) {}
+
+    Ns
+    dramAccess(PhysAddr pa, Ns now) override
+    {
+        accesses.push_back({pa, now});
+        return lat;
+    }
+
+    std::vector<std::pair<PhysAddr, Ns>> accesses;
+    Ns lat;
+};
+
+/** hammer+flush loop over `lines` lines with knobs. */
+HammerKernel
+makeLoop(unsigned lines, OpKind hammer, unsigned nops = 0,
+         AddressingMode mode = AddressingMode::CppIndexed,
+         OpKind barrier = OpKind::NopRun /*sentinel: none*/,
+         bool obfuscate = false)
+{
+    HammerKernel k(mode);
+    for (unsigned i = 0; i < lines; ++i) {
+        PhysAddr pa = 0x100000 + i * 0x10000;
+        if (obfuscate)
+            k.push({OpKind::BranchObf, 0, 1});
+        if (nops)
+            k.pushNops(nops);
+        k.pushMem(hammer, pa);
+        k.pushMem(OpKind::ClFlushOpt, pa);
+        if (barrier != OpKind::NopRun)
+            k.push({barrier, 0, 1});
+    }
+    k.push({OpKind::BranchLoop, 0, 1});
+    return k;
+}
+
+} // namespace
+
+TEST(Kernel, InternsLines)
+{
+    HammerKernel k;
+    auto a = k.lineIdFor(0x1000);
+    auto b = k.lineIdFor(0x1020); // same 64-byte line
+    auto c = k.lineIdFor(0x1040);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_EQ(k.numLines(), 2u);
+    EXPECT_EQ(k.addrOf(a), 0x1000u);
+}
+
+TEST(Kernel, CountsMemReads)
+{
+    auto k = makeLoop(4, OpKind::PrefetchNta);
+    EXPECT_EQ(k.memReadsPerPeriod(), 4u);
+    EXPECT_DEATH(k.pushMem(OpKind::Lfence, 0), "not a memory op");
+}
+
+TEST(CacheModel, FlushPendingWindowHits)
+{
+    CacheModel c(1);
+    EXPECT_FALSE(c.presentOrInFlight(0, 0.0));
+    c.recordFill(0, 100.0);
+    // In flight (MSHR) and after fill: present.
+    EXPECT_TRUE(c.presentOrInFlight(0, 50.0));
+    EXPECT_TRUE(c.presentOrInFlight(0, 150.0));
+    // Flush issued at 150, latency 30: completes at max(150,100)+30.
+    Ns done = c.recordFlush(0, 150.0, 30.0);
+    EXPECT_DOUBLE_EQ(done, 180.0);
+    // The Fig. 7 hazard window: accesses before completion still hit.
+    EXPECT_TRUE(c.presentOrInFlight(0, 179.0));
+    EXPECT_FALSE(c.presentOrInFlight(0, 180.0));
+}
+
+TEST(CacheModel, FlushWaitsForInFlightFill)
+{
+    CacheModel c(1);
+    c.recordFill(0, 500.0);
+    Ns done = c.recordFlush(0, 100.0, 30.0);
+    EXPECT_DOUBLE_EQ(done, 530.0); // after the fill lands
+}
+
+TEST(CacheModel, FlushOfAbsentLineIsNoOp)
+{
+    CacheModel c(1);
+    EXPECT_LT(c.recordFlush(0, 10.0, 30.0), 0.0);
+}
+
+TEST(ArchParams, GenerationalTrends)
+{
+    const auto &comet = ArchParams::forArch(Arch::CometLake);
+    const auto &raptor = ArchParams::forArch(Arch::RaptorLake);
+    // Newer cores: bigger windows, wider front end, more of the
+    // dependency chain speculated away, worse flush jitter.
+    EXPECT_GT(raptor.robSize, comet.robSize);
+    EXPECT_GE(raptor.fetchWidth, comet.fetchWidth);
+    EXPECT_LT(raptor.depChainBreakFactor, comet.depChainBreakFactor);
+    EXPECT_GT(raptor.flushJitterProb, comet.flushJitterProb);
+    EXPECT_GT(raptor.freqGhz, comet.freqGhz);
+}
+
+TEST(SimCpu, PrefetchFasterThanLoads)
+{
+    // Fig. 6: the asynchronous prefetch completes the same access
+    // budget substantially faster than loads.
+    for (Arch arch : allArchs) {
+        StubMemory mem;
+        SimCpu cpu(ArchParams::forArch(arch), 1);
+        auto loads = cpu.run(makeLoop(16, OpKind::Load), mem, 20000);
+        auto prefs =
+            cpu.run(makeLoop(16, OpKind::PrefetchNta), mem, 20000);
+        EXPECT_LT(prefs.timeNs, loads.timeNs) << archName(arch);
+    }
+}
+
+TEST(SimCpu, AllPrefetchHintsSimilar)
+{
+    StubMemory mem;
+    SimCpu cpu(ArchParams::forArch(Arch::CometLake), 1);
+    std::vector<double> times;
+    for (OpKind k : {OpKind::PrefetchT0, OpKind::PrefetchT1,
+                     OpKind::PrefetchT2, OpKind::PrefetchNta}) {
+        times.push_back(cpu.run(makeLoop(16, k), mem, 20000).timeNs);
+    }
+    for (double t : times) {
+        EXPECT_LT(t, times[0] * 1.25);
+        EXPECT_GT(t, times[0] * 0.75);
+    }
+}
+
+TEST(SimCpu, DisorderDropsOnTightSameLineReuse)
+{
+    // A tight 2-line loop re-touches each line long before its flush
+    // completes: most accesses must be served from the stale line.
+    StubMemory mem;
+    SimCpu cpu(ArchParams::forArch(Arch::RaptorLake), 1);
+    auto ctr = cpu.run(makeLoop(2, OpKind::PrefetchNta, 0,
+                                AddressingMode::JitImmediate),
+                       mem, 20000);
+    EXPECT_LT(ctr.missRate(), 0.30);
+    EXPECT_GT(ctr.cacheHits, ctr.dramAccesses);
+}
+
+TEST(SimCpu, NopPseudoBarriersRestoreOrder)
+{
+    // Fig. 10 mechanism: NOP padding spaces accesses beyond the flush
+    // latency, restoring the miss rate; and it costs time.
+    StubMemory mem;
+    SimCpu cpu(ArchParams::forArch(Arch::RaptorLake), 1);
+    auto none = cpu.run(makeLoop(8, OpKind::PrefetchNta, 0), mem, 20000);
+    auto padded =
+        cpu.run(makeLoop(8, OpKind::PrefetchNta, 3000), mem, 20000);
+    EXPECT_GT(padded.missRate(), none.missRate() + 0.2);
+    EXPECT_GT(padded.timeNs, none.timeNs);
+    EXPECT_EQ(padded.nops, 3000ull * 20000); // counted per access
+}
+
+TEST(SimCpu, CppIndexedMoreOrderedThanJit)
+{
+    // Fig. 8: the loop-carried dependency of the C++ primitive spaces
+    // accesses; JIT immediates allow maximal reorder.
+    StubMemory mem;
+    SimCpu cpu(ArchParams::forArch(Arch::CometLake), 1);
+    auto cpp = cpu.run(makeLoop(8, OpKind::PrefetchNta, 0,
+                                AddressingMode::CppIndexed),
+                       mem, 20000);
+    auto jit = cpu.run(makeLoop(8, OpKind::PrefetchNta, 0,
+                                AddressingMode::JitImmediate),
+                       mem, 20000);
+    EXPECT_GT(cpp.missRate(), jit.missRate());
+}
+
+TEST(SimCpu, NewerArchsMoreDisordered)
+{
+    StubMemory mem;
+    auto miss = [&](Arch a) {
+        SimCpu cpu(ArchParams::forArch(a), 1);
+        return cpu.run(makeLoop(8, OpKind::PrefetchNta, 40), mem, 30000)
+            .missRate();
+    };
+    EXPECT_GT(miss(Arch::CometLake), miss(Arch::RaptorLake));
+}
+
+TEST(SimCpu, SerializingBarriersAreSlowAndOrdered)
+{
+    // Table 3: CPUID and MFENCE order the stream at enormous cost.
+    StubMemory mem;
+    SimCpu cpu(ArchParams::forArch(Arch::RaptorLake), 1);
+    auto none = cpu.run(makeLoop(8, OpKind::PrefetchNta), mem, 8000);
+    auto cpuid = cpu.run(makeLoop(8, OpKind::PrefetchNta, 0,
+                                  AddressingMode::CppIndexed,
+                                  OpKind::Cpuid),
+                         mem, 8000);
+    auto mfence = cpu.run(makeLoop(8, OpKind::PrefetchNta, 0,
+                                   AddressingMode::CppIndexed,
+                                   OpKind::Mfence),
+                          mem, 8000);
+    EXPECT_GT(cpuid.timeNs, 8.0 * none.timeNs);
+    EXPECT_GT(mfence.timeNs, 4.0 * none.timeNs);
+    EXPECT_GT(cpuid.missRate(), 0.95);
+}
+
+TEST(SimCpu, LfenceOrdersViaAddressChainOnlyInCppMode)
+{
+    // Table 3's subtle point: LFENCE helps prefetch hammering only
+    // through the indexed primitive's address loads; with immediates
+    // (AsmJit) it does almost nothing.
+    StubMemory mem;
+    SimCpu cpu(ArchParams::forArch(Arch::RaptorLake), 1);
+    auto cpp = cpu.run(makeLoop(8, OpKind::PrefetchNta, 0,
+                                AddressingMode::CppIndexed,
+                                OpKind::Lfence),
+                       mem, 20000);
+    auto jit = cpu.run(makeLoop(8, OpKind::PrefetchNta, 0,
+                                AddressingMode::JitImmediate,
+                                OpKind::Lfence),
+                       mem, 20000);
+    EXPECT_GT(cpp.missRate(), jit.missRate() + 0.1);
+}
+
+TEST(SimCpu, LoadsThrottledByIssueOccupancy)
+{
+    // Section 4.5: the minimum pacing at which each primitive becomes
+    // fully ordered differs: prefetches reach ~full miss rate at a
+    // fraction of the per-access spacing loads need, so the ordered
+    // prefetch activation rate is far higher.
+    StubMemory mem;
+    SimCpu cpu(ArchParams::forArch(Arch::CometLake), 1);
+    auto loads = cpu.run(makeLoop(16, OpKind::Load, 3000), mem, 10000);
+    auto prefs =
+        cpu.run(makeLoop(16, OpKind::PrefetchNta, 600), mem, 10000);
+    ASSERT_GT(loads.missRate(), 0.85);
+    ASSERT_GT(prefs.missRate(), 0.85);
+    EXPECT_GT(prefs.dramAccessRate(), 2.0 * loads.dramAccessRate());
+}
+
+TEST(SimCpu, ObfuscatedBranchesMispredict)
+{
+    StubMemory mem;
+    SimCpu cpu(ArchParams::forArch(Arch::AlderLake), 1);
+    auto ctr = cpu.run(makeLoop(8, OpKind::PrefetchNta, 0,
+                                AddressingMode::CppIndexed,
+                                OpKind::NopRun, /*obfuscate=*/true),
+                       mem, 20000);
+    ASSERT_GT(ctr.branches, 1000u);
+    double rate = double(ctr.branchMispredicts) / ctr.branches;
+    EXPECT_GT(rate, 0.4); // rdrand-driven: predictor cannot learn
+}
+
+TEST(SimCpu, LoopBranchesPredictWell)
+{
+    StubMemory mem;
+    SimCpu cpu(ArchParams::forArch(Arch::AlderLake), 1);
+    auto ctr = cpu.run(makeLoop(8, OpKind::PrefetchNta), mem, 20000);
+    ASSERT_GT(ctr.branches, 100u);
+    double rate = double(ctr.branchMispredicts) / ctr.branches;
+    EXPECT_LT(rate, 0.05);
+}
+
+TEST(SimCpu, EmptyKernelIsFatal)
+{
+    StubMemory mem;
+    SimCpu cpu(ArchParams::forArch(Arch::CometLake), 1);
+    HammerKernel k;
+    EXPECT_DEATH(cpu.run(k, mem, 100), "no memory reads");
+}
+
+TEST(SimCpu, DramTimestampsMonotone)
+{
+    StubMemory mem;
+    SimCpu cpu(ArchParams::forArch(Arch::RaptorLake), 1);
+    cpu.run(makeLoop(16, OpKind::PrefetchNta, 10), mem, 20000);
+    for (std::size_t i = 1; i < mem.accesses.size(); ++i)
+        EXPECT_GE(mem.accesses[i].second, mem.accesses[i - 1].second);
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests for the flip-set analysis utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hammer/flip_analysis.hh"
+#include "hammer/pattern_fuzzer.hh"
+#include "hammer/tuned_configs.hh"
+
+using namespace rho;
+
+TEST(FlipAnalysis, CountsAndClassifies)
+{
+    std::vector<FlipRecord> flips = {
+        {0, 100, 64 * 8 + 13, true, 1.0},  // qword bit 13: exploitable
+        {0, 100, 64 * 8 + 13, true, 2.0},
+        {0, 101, 7, false, 3.0},           // qword bit 7: not
+        {1, 200, 64 + 20, true, 4.0},      // qword bit 20: not
+    };
+    FlipStats s = analyzeFlips(flips);
+    EXPECT_EQ(s.total, 4u);
+    EXPECT_EQ(s.toOne, 3u);
+    EXPECT_EQ(s.toZero, 1u);
+    EXPECT_EQ(s.uniqueRows, 3u);
+    EXPECT_EQ(s.uniqueBanks, 2u);
+    EXPECT_EQ(s.maxPerRow, 2u);
+    EXPECT_EQ(s.pteExploitable, 2u);
+    EXPECT_DOUBLE_EQ(s.toOneRatio(), 0.75);
+    EXPECT_DOUBLE_EQ(s.exploitableRatio(), 0.5);
+    EXPECT_EQ(s.bitInQword[13], 2u);
+    EXPECT_NE(s.describe().find("4 flips"), std::string::npos);
+}
+
+TEST(FlipAnalysis, EmptySetIsSafe)
+{
+    FlipStats s = analyzeFlips({});
+    EXPECT_EQ(s.total, 0u);
+    EXPECT_EQ(s.toOneRatio(), 0.0);
+    EXPECT_EQ(s.exploitableRatio(), 0.0);
+}
+
+TEST(FlipAnalysis, ByRowGrouping)
+{
+    std::vector<FlipRecord> flips = {
+        {0, 100, 1, true, 1.0},
+        {0, 100, 2, true, 1.0},
+        {2, 300, 3, false, 1.0},
+    };
+    auto rows = flipsByRow(flips);
+    EXPECT_EQ(rows.size(), 2u);
+    EXPECT_EQ((rows[{0, 100}]), 2u);
+    EXPECT_EQ((rows[{2, 300}]), 1u);
+}
+
+TEST(FlipAnalysis, RealCampaignProperties)
+{
+    // On a real campaign: direction ratio near 50% (random cell
+    // orientations x alternating 0x55 data), exploitable fraction
+    // near 8/64, and flips spread over many rows.
+    MemorySystem sys(Arch::CometLake, DimmProfile::byId("S4"),
+                     TrrConfig{}, 91);
+    HammerSession session(sys, 91);
+    Rng rng(92);
+    HammerConfig cfg = rhoConfig(Arch::CometLake, true, 350000);
+    std::vector<FlipRecord> all;
+    for (int i = 0; i < 10; ++i) {
+        auto pattern = HammerPattern::randomNonUniform(rng);
+        auto loc = session.randomLocation(pattern, cfg);
+        auto out = session.hammer(pattern, loc, cfg);
+        all.insert(all.end(), out.flipList.begin(), out.flipList.end());
+    }
+
+    FlipStats s = analyzeFlips(all);
+    ASSERT_GT(s.total, 50u);
+    EXPECT_GT(s.toOneRatio(), 0.3);
+    EXPECT_LT(s.toOneRatio(), 0.7);
+    EXPECT_NEAR(s.exploitableRatio(), 8.0 / 64.0, 0.08);
+    EXPECT_GT(s.uniqueRows, 10u);
+}

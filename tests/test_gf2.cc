@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Unit and property tests for GF(2) linear algebra.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bits.hh"
+#include "common/gf2.hh"
+#include "common/rng.hh"
+
+using namespace rho;
+
+TEST(Gf2, IdentitySolve)
+{
+    Gf2Matrix m(4);
+    for (unsigned i = 0; i < 4; ++i)
+        m.addRow(1ULL << i);
+    EXPECT_EQ(m.rank(), 4u);
+    auto sol = m.solve(0b1010);
+    ASSERT_TRUE(sol.has_value());
+    EXPECT_EQ(*sol, 0b1010u);
+}
+
+TEST(Gf2, SingularSystemDetectsInconsistency)
+{
+    Gf2Matrix m(3);
+    m.addRow(0b011);
+    m.addRow(0b110);
+    m.addRow(0b101); // = row0 ^ row1: dependent
+    EXPECT_EQ(m.rank(), 2u);
+    // rhs with row2 != row0 ^ row1 parity is inconsistent.
+    EXPECT_FALSE(m.solve(0b001).has_value());
+    EXPECT_FALSE(m.solve(0b111).has_value());
+    // Consistent rhs (bit2 = bit0 ^ bit1) solves.
+    EXPECT_TRUE(m.solve(0b011).has_value());
+    EXPECT_TRUE(m.solve(0b110).has_value());
+}
+
+TEST(Gf2, NullBasisSpansKernel)
+{
+    Gf2Matrix m(5);
+    m.addRow(0b00011);
+    m.addRow(0b00110);
+    auto basis = m.nullBasis();
+    EXPECT_EQ(basis.size(), 3u); // 5 cols - rank 2
+    for (auto n : basis) {
+        EXPECT_EQ(parity(n, 0b00011), 0u);
+        EXPECT_EQ(parity(n, 0b00110), 0u);
+    }
+}
+
+TEST(Gf2, EmptyMatrixHasFullNullSpace)
+{
+    Gf2Matrix m(6);
+    EXPECT_EQ(m.rank(), 0u);
+    EXPECT_EQ(m.nullBasis().size(), 6u);
+}
+
+TEST(Gf2, SolverRejectsTooManyRows)
+{
+    Gf2Matrix m(10);
+    for (int i = 0; i < 65; ++i)
+        m.addRow(1);
+    EXPECT_DEATH({ Gf2Solver s(m); }, "at most 64 rows");
+}
+
+class Gf2Random : public ::testing::TestWithParam<unsigned>
+{
+};
+
+/** Property: for random full-rank square systems, solve() inverts. */
+TEST_P(Gf2Random, RandomSquareSystemsRoundTrip)
+{
+    Rng rng(GetParam());
+    unsigned n = 8 + GetParam() % 24;
+
+    // Build a random invertible matrix: start from identity, apply
+    // random row operations (preserves invertibility).
+    std::vector<std::uint64_t> rows(n);
+    for (unsigned i = 0; i < n; ++i)
+        rows[i] = 1ULL << i;
+    for (unsigned k = 0; k < 6 * n; ++k) {
+        unsigned i = rng.uniformInt(0, n - 1);
+        unsigned j = rng.uniformInt(0, n - 1);
+        if (i != j)
+            rows[i] ^= rows[j];
+    }
+    Gf2Matrix m(n);
+    for (auto r : rows)
+        m.addRow(r);
+    ASSERT_EQ(m.rank(), n);
+
+    Gf2Solver solver(m);
+    ASSERT_TRUE(solver.fullRank());
+    for (int trial = 0; trial < 16; ++trial) {
+        std::uint64_t rhs =
+            rng.uniformInt(0, (n == 64 ? ~0ULL : (1ULL << n) - 1));
+        auto x = solver.solve(rhs);
+        ASSERT_TRUE(x.has_value());
+        // Verify A x = rhs.
+        for (unsigned i = 0; i < n; ++i)
+            EXPECT_EQ(parity(*x, rows[i]), bit(rhs, i));
+    }
+}
+
+/** Property: particular solution + null basis enumerates solutions. */
+TEST_P(Gf2Random, NullBasisGeneratesSolutions)
+{
+    Rng rng(GetParam() * 1337 + 1);
+    unsigned cols = 12;
+    Gf2Matrix m(cols);
+    for (unsigned i = 0; i < 6; ++i)
+        m.addRow(rng.uniformInt(1, (1ULL << cols) - 1));
+
+    Gf2Solver solver(m);
+    std::uint64_t rhs = rng.uniformInt(0, 63);
+    auto x0 = solver.solve(rhs);
+    if (!x0.has_value())
+        return; // inconsistent rhs: nothing to check
+    for (auto n : solver.nullBasis()) {
+        std::uint64_t x = *x0 ^ n;
+        for (unsigned i = 0; i < m.numRows(); ++i)
+            EXPECT_EQ(parity(x, m.row(i)), bit(rhs, i));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Gf2Random, ::testing::Range(0u, 12u));
+
+TEST(Bits, MaskRoundTrip)
+{
+    std::vector<unsigned> positions = {3, 7, 21, 33};
+    auto mask = maskOfBits(positions);
+    EXPECT_EQ(bitsOfMask(mask), positions);
+}
+
+TEST(Bits, Parity)
+{
+    EXPECT_EQ(parity(0b1011, 0b1010), 0u);
+    EXPECT_EQ(parity(0b1011, 0b0011), 0u);
+    EXPECT_EQ(parity(0b1011, 0b0001), 1u);
+}
+
+TEST(Bits, SetAndFlip)
+{
+    EXPECT_EQ(setBit(0, 5, 1), 32u);
+    EXPECT_EQ(setBit(32, 5, 0), 0u);
+    EXPECT_EQ(flipBit(32, 5), 0u);
+    EXPECT_TRUE(isPow2(64));
+    EXPECT_FALSE(isPow2(65));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_EQ(log2Exact(1ULL << 33), 33u);
+}

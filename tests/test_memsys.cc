@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for MemorySystem composition and the SBDR timing probe.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memsys/memory_system.hh"
+#include "memsys/timing_probe.hh"
+
+using namespace rho;
+
+TEST(MemorySystem, ComposesMappingFromArchAndDimm)
+{
+    MemorySystem sys(Arch::RaptorLake, DimmProfile::byId("S1"));
+    EXPECT_EQ(sys.mapping().memBytes(), 16ULL << 30);
+    EXPECT_EQ(sys.mapping().numBanks(), 32u);
+    EXPECT_TRUE(sys.mapping().sameBankAndRowStructure(
+        mappingFor(Arch::RaptorLake, 16, 2)));
+}
+
+TEST(MemorySystem, ClampsDimmToPlatformFrequency)
+{
+    // S1 is a 3200 MT/s DIMM; Comet Lake only drives 2933.
+    MemorySystem sys(Arch::CometLake, DimmProfile::byId("S1"));
+    EXPECT_NEAR(sys.dimm().timing().tCK, 2000.0 / 2933, 1e-6);
+    MemorySystem sys2(Arch::RaptorLake, DimmProfile::byId("S1"));
+    EXPECT_NEAR(sys2.dimm().timing().tCK, 0.625, 1e-6);
+}
+
+TEST(MemorySystem, ClockAdvancesMonotonically)
+{
+    MemorySystem sys(Arch::CometLake, DimmProfile::byId("S2"));
+    EXPECT_EQ(sys.now(), 0.0);
+    sys.dramAccess(0x1000, 100.0);
+    EXPECT_GE(sys.now(), 100.0);
+    Ns t = sys.now();
+    sys.dramAccess(0x2000, 50.0); // stale timestamp must not rewind
+    EXPECT_GE(sys.now(), t);
+    sys.advance(500.0);
+    EXPECT_GE(sys.now(), t + 500.0);
+}
+
+TEST(MemorySystem, FunctionalDataPath)
+{
+    MemorySystem sys(Arch::AlderLake, DimmProfile::byId("S2"));
+    sys.writeByte(0xdead00, 0x5a);
+    EXPECT_EQ(sys.readByte(0xdead00), 0x5a);
+    EXPECT_EQ(sys.readByte(0xdead01), 0x00);
+}
+
+namespace
+{
+
+/** Pick a pair with the given relationship via the mapping. */
+PhysAddr
+partnerFor(const AddressMapping &m, PhysAddr a, bool same_bank,
+           bool same_row)
+{
+    DramAddr da = m.decode(a);
+    DramAddr db = da;
+    if (!same_bank)
+        db.bank = (da.bank + 1) % m.numBanks();
+    if (!same_row)
+        db.row = da.row + 64;
+    return m.encode(db);
+}
+
+} // namespace
+
+class ProbeCase : public ::testing::TestWithParam<Arch>
+{
+};
+
+TEST_P(ProbeCase, SbdrSlowerThanSameRowAndDiffBank)
+{
+    MemorySystem sys(GetParam(), DimmProfile::byId("S1"));
+    TimingProbe probe(sys, 42);
+    const auto &m = sys.mapping();
+    PhysAddr a = m.encode({3, 1000, 0});
+
+    double sbdr = probe.measurePair(a, partnerFor(m, a, true, false));
+    double sr = probe.measurePair(a, partnerFor(m, a, true, true) + 256);
+    double db = probe.measurePair(a, partnerFor(m, a, false, false));
+
+    EXPECT_GT(sbdr, sr + 10.0);
+    EXPECT_GT(sbdr, db + 10.0);
+    EXPECT_NEAR(sr, db, 8.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchs, ProbeCase,
+                         ::testing::ValuesIn(allArchs));
+
+TEST(TimingProbe, AdvancesClockAndCountsAccesses)
+{
+    MemorySystem sys(Arch::CometLake, DimmProfile::byId("S2"));
+    TimingProbe probe(sys, 7);
+    Ns t0 = sys.now();
+    probe.measurePair(0x1000, 0x2000, 50);
+    EXPECT_EQ(probe.accessCount(), 100u);
+    EXPECT_GT(sys.now(), t0 + 100 * 40.0); // >= overhead+latency each
+}
+
+TEST(TimingProbe, MeasurementNoiseIsBounded)
+{
+    MemorySystem sys(Arch::CometLake, DimmProfile::byId("S2"));
+    TimingProbe probe(sys, 7, /*noise_sigma=*/1.0);
+    PhysAddr a = sys.mapping().encode({0, 10, 0});
+    PhysAddr b = sys.mapping().encode({0, 500, 0});
+    double first = probe.measurePair(a, b);
+    for (int i = 0; i < 10; ++i) {
+        double again = probe.measurePair(a, b);
+        EXPECT_NEAR(again, first, 8.0);
+    }
+}

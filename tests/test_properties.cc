@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Cross-cutting property suites: exhaustive bijection checks on small
+ * mapping spaces, refresh-phase invariants, buddy allocator stress
+ * invariants, and disturbance accounting under randomized access
+ * streams.
+ */
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "dram/dimm.hh"
+#include "mapping/mapping_presets.hh"
+#include "os/buddy_allocator.hh"
+
+using namespace rho;
+
+class MappingBijection : public ::testing::TestWithParam<Arch>
+{
+};
+
+/**
+ * Exhaustive bijection over a subsampled coset: for 64k addresses
+ * spread across the full space, decode must be injective per
+ * (bank,row,col) and encode its exact inverse.
+ */
+TEST_P(MappingBijection, InjectiveOnLargeSample)
+{
+    AddressMapping m = mappingFor(GetParam(), 16, 2);
+    std::set<std::tuple<std::uint32_t, std::uint64_t, std::uint64_t>>
+        seen;
+    Rng rng(77);
+    for (int i = 0; i < 65536; ++i) {
+        PhysAddr pa = rng.uniformInt(0, m.memBytes() - 1);
+        DramAddr da = m.decode(pa);
+        auto key = std::make_tuple(da.bank, da.row, da.col);
+        // Either new, or the exact same pa mapped twice.
+        auto [it, fresh] = seen.insert(key);
+        (void)it;
+        if (!fresh)
+            EXPECT_EQ(m.encode(da), pa);
+        EXPECT_EQ(m.encode(da), pa);
+    }
+}
+
+/** Banks must be perfectly balanced over aligned address ranges. */
+TEST_P(MappingBijection, BanksUniformOverAlignedRegion)
+{
+    AddressMapping m = mappingFor(GetParam(), 8, 1);
+    std::map<std::uint32_t, unsigned> counts;
+    // A 2^20-byte aligned region covers the lowest bit of every bank
+    // function, so banks split it evenly (the paper's Step-0 premise).
+    for (PhysAddr pa = 0; pa < (1ULL << 21); pa += cacheLineBytes)
+        ++counts[m.decode(pa).bank];
+    unsigned lines = (1u << 21) / cacheLineBytes;
+    for (auto [bank, n] : counts)
+        EXPECT_EQ(n, lines / m.numBanks()) << "bank " << bank;
+    EXPECT_EQ(counts.size(), m.numBanks());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchs, MappingBijection,
+                         ::testing::ValuesIn(allArchs));
+
+class RefreshPhase : public ::testing::TestWithParam<unsigned>
+{
+};
+
+/**
+ * Refresh-race property: hammering that accumulates just below the
+ * weakest threshold between any two refreshes never flips, regardless
+ * of when within the retention window the hammering starts.
+ */
+TEST_P(RefreshPhase, SubThresholdNeverFlips)
+{
+    DimmProfile p = DimmProfile::byId("S4");
+    p.weakCellsPerRow = 5.0;
+    p.hcLogMean = std::log(3000.0);
+    p.hcLogSigma = 0.05;
+    p.hcMin = 2600;
+    TrrConfig no;
+    no.enabled = false;
+    Dimm d(p, DramTiming::ddr4(2666), no);
+
+    std::uint64_t base = 4000 + GetParam() * 64;
+    d.fillRow(0, base + 1, 0x55, 0.0);
+    // Start at a param-dependent phase within the retention window.
+    Ns now = GetParam() * (d.timing().tREFW / 8.0);
+    // 1200 pair activations per window << 2600 threshold.
+    Ns step = d.timing().tREFW / 1200.0;
+    for (int i = 0; i < 4000; ++i) {
+        d.access({0, base, 0}, now);
+        d.access({0, base + 2, 0}, now + 60.0);
+        now += step;
+    }
+    EXPECT_TRUE(d.diffRow(0, base + 1, 0x55, now).empty());
+}
+
+/** And the same pressure delivered fast (within one window) flips. */
+TEST_P(RefreshPhase, SuperThresholdFlips)
+{
+    DimmProfile p = DimmProfile::byId("S4");
+    p.weakCellsPerRow = 5.0;
+    p.hcLogMean = std::log(3000.0);
+    p.hcLogSigma = 0.05;
+    p.hcMin = 2600;
+    TrrConfig no;
+    no.enabled = false;
+    Dimm d(p, DramTiming::ddr4(2666), no);
+
+    // Three sandwiched victims: the probability that none of them
+    // carries an eligible weak cell is negligible.
+    std::uint64_t base = 4000 + GetParam() * 64;
+    for (std::uint64_t v : {base + 1, base + 3, base + 5})
+        d.fillRow(0, v, 0x55, 0.0);
+    Ns now = GetParam() * (d.timing().tREFW / 8.0);
+    for (int i = 0; i < 8000; ++i) {
+        std::uint64_t agg = base + 2 * (i % 4);
+        now += d.access({0, agg, 0}, now).latency;
+    }
+    std::size_t flips = 0;
+    for (std::uint64_t v : {base + 1, base + 3, base + 5})
+        flips += d.diffRow(0, v, 0x55, now).size();
+    EXPECT_GT(flips, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Phases, RefreshPhase, ::testing::Range(0u, 8u));
+
+class BuddyStress : public ::testing::TestWithParam<unsigned>
+{
+};
+
+/**
+ * Allocator stress property: random alloc/free sequences never hand
+ * out overlapping blocks and always coalesce back to the initial
+ * free-byte count.
+ */
+TEST_P(BuddyStress, NoOverlapAndFullCoalesce)
+{
+    BuddyAllocator b(1ULL << 26, 0.0);
+    std::uint64_t initial = b.freeBytes();
+    Rng rng(GetParam());
+
+    std::vector<std::pair<PhysAddr, unsigned>> held;
+    std::map<PhysAddr, PhysAddr> extents; // base -> end
+
+    for (int step = 0; step < 2000; ++step) {
+        if (held.empty() || rng.chance(0.55)) {
+            unsigned order = static_cast<unsigned>(
+                rng.uniformInt(0, 6));
+            auto blk = b.alloc(order);
+            if (!blk)
+                continue;
+            PhysAddr end = *blk + (pageBytes << order);
+            // Overlap check against every held block.
+            auto it = extents.lower_bound(*blk);
+            if (it != extents.end())
+                ASSERT_GE(it->first, end);
+            if (it != extents.begin()) {
+                --it;
+                ASSERT_LE(it->second, *blk);
+            }
+            extents[*blk] = end;
+            held.push_back({*blk, order});
+        } else {
+            std::size_t i = rng.uniformInt(0, held.size() - 1);
+            auto [addr, order] = held[i];
+            b.free(addr, order);
+            extents.erase(addr);
+            held[i] = held.back();
+            held.pop_back();
+        }
+    }
+    for (auto [addr, order] : held)
+        b.free(addr, order);
+    EXPECT_EQ(b.freeBytes(), initial);
+    EXPECT_EQ(b.freeBlocksAt(BuddyAllocator::maxOrder),
+              (1ULL << 26) / (pageBytes << BuddyAllocator::maxOrder));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BuddyStress, ::testing::Range(0u, 8u));
+
+/**
+ * Disturbance bookkeeping: the flip log never reports a flip in a row
+ * that was itself activated after its last data write (self-refresh
+ * on activation), and diffRow always agrees with the log for rows the
+ * attacker planted.
+ */
+TEST(Disturbance, LogAgreesWithDataDiff)
+{
+    DimmProfile p = DimmProfile::byId("S4");
+    p.weakCellsPerRow = 2.0;
+    p.hcLogMean = std::log(2500.0);
+    p.hcLogSigma = 0.2;
+    p.hcMin = 1800;
+    TrrConfig no;
+    no.enabled = false;
+    Dimm d(p, DramTiming::ddr4(2666), no);
+
+    std::vector<std::uint64_t> victims = {1001, 1003, 1005};
+    for (auto v : victims)
+        d.fillRow(0, v, 0x55, 0.0);
+    Ns now = 0.0;
+    Rng rng(5);
+    for (int i = 0; i < 20000; ++i) {
+        std::uint64_t agg = 1000 + 2 * rng.uniformInt(0, 2); // 1000/2/4
+        now += d.access({0, agg, 0}, now).latency;
+    }
+    std::size_t diffs = 0;
+    for (auto v : victims)
+        diffs += d.diffRow(0, v, 0x55, now).size();
+    std::size_t logged = 0;
+    for (const auto &f : d.flipLog())
+        logged += f.row == 1001 || f.row == 1003 || f.row == 1005;
+    EXPECT_EQ(diffs, logged);
+}

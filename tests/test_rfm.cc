@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for the DDR5 Refresh Management model (paper section 6):
+ * deterministic RAA accounting cannot be evaded by non-uniform
+ * patterns, so no flips survive on DDR5 — the paper's observation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/dimm.hh"
+#include "dram/rfm.hh"
+#include "hammer/pattern_fuzzer.hh"
+#include "hammer/tuned_configs.hh"
+
+using namespace rho;
+
+TEST(RfmEngine, FiresEveryRaaimtActs)
+{
+    RfmConfig cfg;
+    cfg.enabled = true;
+    cfg.raaimt = 8;
+    RfmEngine rfm(cfg, 2);
+    unsigned fired = 0;
+    for (int i = 0; i < 64; ++i) {
+        auto targets = rfm.observeAct(0, 100 + (i % 3));
+        if (!targets.empty())
+            ++fired;
+    }
+    EXPECT_EQ(fired, 8u);
+    EXPECT_EQ(rfm.rfmCommands(), 8u);
+}
+
+TEST(RfmEngine, ProtectsMostRecentRows)
+{
+    RfmConfig cfg;
+    cfg.enabled = true;
+    cfg.raaimt = 4;
+    cfg.victimsPerRfm = 2;
+    RfmEngine rfm(cfg, 1);
+    rfm.observeAct(0, 10);
+    rfm.observeAct(0, 20);
+    rfm.observeAct(0, 30);
+    auto targets = rfm.observeAct(0, 40);
+    ASSERT_EQ(targets.size(), 2u);
+    EXPECT_EQ(targets[0].row, 40u); // most recent first
+    EXPECT_EQ(targets[1].row, 30u);
+}
+
+TEST(RfmEngine, PerBankCounters)
+{
+    RfmConfig cfg;
+    cfg.enabled = true;
+    cfg.raaimt = 8;
+    RfmEngine rfm(cfg, 4);
+    // Spread ACTs over 4 banks: no single bank reaches the threshold.
+    for (int i = 0; i < 28; ++i)
+        EXPECT_TRUE(rfm.observeAct(i % 4, 5).empty());
+}
+
+TEST(RfmEngine, DisabledIsTransparent)
+{
+    RfmEngine rfm(RfmConfig{}, 1);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_TRUE(rfm.observeAct(0, 1).empty());
+    EXPECT_EQ(rfm.rfmCommands(), 0u);
+}
+
+TEST(Ddr5, TimingPreset)
+{
+    auto t = DramTiming::ddr5(4800);
+    EXPECT_NEAR(t.tCK, 2000.0 / 4800, 1e-9);
+    EXPECT_NEAR(t.tREFI, 3900.0, 1e-9); // doubled refresh rate
+    EXPECT_DEATH(DramTiming::ddr5(3200), "unsupported");
+}
+
+TEST(Ddr5, ProfileSample)
+{
+    const auto &d1 = DimmProfile::ddr5Sample();
+    EXPECT_EQ(d1.id, "D1");
+    EXPECT_EQ(d1.geom.sizeGib(), 16u);
+    EXPECT_TRUE(d1.flippable); // cells exist; RFM protects them
+}
+
+TEST(Ddr5, RfmStopsNonUniformHammering)
+{
+    // The same double-sided pressure that flips a DDR4 part is fully
+    // absorbed by RFM on the DDR5 sample, even with TRR disabled.
+    const DimmProfile &d1 = DimmProfile::ddr5Sample();
+    TrrConfig no_trr;
+    no_trr.enabled = false;
+    RfmConfig rfm;
+    rfm.enabled = true;
+
+    Dimm with_rfm(d1, DramTiming::ddr5(4800), no_trr, rfm);
+    Dimm without(d1, DramTiming::ddr5(4800), no_trr);
+
+    auto hammer = [](Dimm &d) {
+        d.fillRow(0, 5001, 0x55, 0.0);
+        Ns now = 0.0;
+        for (int i = 0; i < 20000; ++i) {
+            now += d.access({0, 5000, 0}, now).latency;
+            now += d.access({0, 5002, 0}, now).latency;
+        }
+        return d.diffRow(0, 5001, 0x55, now).size();
+    };
+
+    EXPECT_GT(hammer(without), 0u);
+    EXPECT_EQ(hammer(with_rfm), 0u);
+    EXPECT_GT(with_rfm.rfmCommandCount(), 100u);
+}
+
+TEST(Ddr5, RhoHammerFindsNoEffectivePattern)
+{
+    // Paper section 6: "we have not observed any effective pattern on
+    // our setups with DDR5 DIMMs". Full rhoHammer stack vs RFM.
+    const DimmProfile &d1 = DimmProfile::ddr5Sample();
+    TrrConfig trr; // stock TRR as well
+    // Build a memory system manually around the DDR5 device: reuse
+    // the Raptor Lake mapping (16 GiB dual-rank geometry matches).
+    MemorySystem sys(Arch::RaptorLake, d1, trr, 77);
+    // Swap in an RFM-protected DIMM is not exposed via MemorySystem;
+    // hammer the Dimm-level API directly with the session instead:
+    HammerSession session(sys, 77);
+    PatternFuzzer fuzzer(session, 78);
+    FuzzParams params;
+    params.numPatterns = 6;
+    params.locationsPerPattern = 2;
+    auto base = fuzzer.run(rhoConfig(Arch::RaptorLake, true, 300000),
+                           params);
+    // Without RFM the DDR5 cells are flippable...
+    EXPECT_GT(base.totalFlips, 0u);
+
+    // ...and the dedicated Dimm-level check above shows RFM absorbing
+    // the same pressure. (MemorySystem-level RFM plumbing follows in
+    // Ddr5.MemorySystemWithRfm below.)
+}
+
+TEST(Ddr5, MemorySystemWithRfm)
+{
+    const DimmProfile &d1 = DimmProfile::ddr5Sample();
+    MemorySystem sys(Arch::RaptorLake, d1, TrrConfig{}, 79,
+                     [] {
+                         RfmConfig r;
+                         r.enabled = true;
+                         return r;
+                     }());
+    HammerSession session(sys, 79);
+    PatternFuzzer fuzzer(session, 80);
+    FuzzParams params;
+    params.numPatterns = 6;
+    params.locationsPerPattern = 2;
+    auto res = fuzzer.run(rhoConfig(Arch::RaptorLake, true, 300000),
+                          params);
+    EXPECT_EQ(res.totalFlips, 0u);
+    EXPECT_GT(sys.dimm().rfmCommandCount(), 1000u);
+}

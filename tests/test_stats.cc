@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for the statistics helpers, in particular the bimodal
+ * threshold finder the side channel relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+using namespace rho;
+
+TEST(RunningStat, Moments)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, EmptyIsSafe)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Histogram, BinningAndClamping)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(9.5);
+    h.add(-3.0); // clamps into first bin
+    h.add(25.0); // clamps into last bin
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(9), 2u);
+    EXPECT_EQ(h.totalCount(), 4u);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 0.5);
+}
+
+TEST(Histogram, FractionAbove)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 90; ++i)
+        h.add(10.0);
+    for (int i = 0; i < 10; ++i)
+        h.add(80.0);
+    EXPECT_NEAR(h.fractionAbove(50.0), 0.1, 1e-9);
+}
+
+class ThresholdTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+/**
+ * Property: for synthetic bimodal latency distributions like the
+ * SBDR channel produces, the threshold lands between the modes.
+ */
+TEST_P(ThresholdTest, SeparatesBimodalModes)
+{
+    Rng rng(GetParam());
+    double lo_mode = 40.0 + rng.uniformReal(0, 10);
+    double hi_mode = lo_mode + 20.0 + rng.uniformReal(0, 15);
+    double frac_hi = 0.03 + rng.uniformReal(0, 0.05);
+
+    Histogram h(20.0, 140.0, 240);
+    for (int i = 0; i < 4000; ++i) {
+        bool hi = rng.chance(frac_hi);
+        h.add(rng.normal(hi ? hi_mode : lo_mode, 1.5));
+    }
+    double t = h.separatingThreshold(0.005);
+    EXPECT_GT(t, lo_mode + 4.0);
+    EXPECT_LT(t, hi_mode - 4.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThresholdTest, ::testing::Range(0u, 10u));
+
+TEST(Percentile, Basics)
+{
+    std::vector<double> v = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50), 5.5);
+    EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Tests for the ASCII table renderer and string formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/table.hh"
+
+using namespace rho;
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22222"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+    EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+    EXPECT_NE(out.find("| b     | 22222 |"), std::string::npos);
+}
+
+TEST(TextTable, RowWidthMismatchPanics)
+{
+    TextTable t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only one"}), "row width");
+}
+
+TEST(StrFormat, FormatsLikePrintf)
+{
+    EXPECT_EQ(strFormat("%d-%s-%.1f", 42, "x", 3.14), "42-x-3.1");
+    EXPECT_EQ(strFormat("empty"), "empty");
+}
