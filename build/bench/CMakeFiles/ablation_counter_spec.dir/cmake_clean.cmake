@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_counter_spec.dir/ablation_counter_spec.cc.o"
+  "CMakeFiles/ablation_counter_spec.dir/ablation_counter_spec.cc.o.d"
+  "ablation_counter_spec"
+  "ablation_counter_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_counter_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

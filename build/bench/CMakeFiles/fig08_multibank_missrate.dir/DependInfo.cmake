@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig08_multibank_missrate.cc" "bench/CMakeFiles/fig08_multibank_missrate.dir/fig08_multibank_missrate.cc.o" "gcc" "bench/CMakeFiles/fig08_multibank_missrate.dir/fig08_multibank_missrate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rho_revng.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rho_exploit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rho_hammer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rho_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rho_memsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rho_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rho_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rho_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rho_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

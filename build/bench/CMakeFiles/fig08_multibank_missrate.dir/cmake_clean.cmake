@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_multibank_missrate.dir/fig08_multibank_missrate.cc.o"
+  "CMakeFiles/fig08_multibank_missrate.dir/fig08_multibank_missrate.cc.o.d"
+  "fig08_multibank_missrate"
+  "fig08_multibank_missrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_multibank_missrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

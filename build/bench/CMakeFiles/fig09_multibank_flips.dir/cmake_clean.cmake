@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_multibank_flips.dir/fig09_multibank_flips.cc.o"
+  "CMakeFiles/fig09_multibank_flips.dir/fig09_multibank_flips.cc.o.d"
+  "fig09_multibank_flips"
+  "fig09_multibank_flips.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_multibank_flips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

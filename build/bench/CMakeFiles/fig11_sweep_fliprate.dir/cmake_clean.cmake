@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_sweep_fliprate.dir/fig11_sweep_fliprate.cc.o"
+  "CMakeFiles/fig11_sweep_fliprate.dir/fig11_sweep_fliprate.cc.o.d"
+  "fig11_sweep_fliprate"
+  "fig11_sweep_fliprate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_sweep_fliprate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec53_end_to_end.dir/sec53_end_to_end.cc.o"
+  "CMakeFiles/sec53_end_to_end.dir/sec53_end_to_end.cc.o.d"
+  "sec53_end_to_end"
+  "sec53_end_to_end.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec53_end_to_end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

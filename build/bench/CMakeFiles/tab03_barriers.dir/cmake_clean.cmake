@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_barriers.dir/tab03_barriers.cc.o"
+  "CMakeFiles/tab03_barriers.dir/tab03_barriers.cc.o.d"
+  "tab03_barriers"
+  "tab03_barriers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_barriers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_mappings.dir/tab04_mappings.cc.o"
+  "CMakeFiles/tab04_mappings.dir/tab04_mappings.cc.o.d"
+  "tab04_mappings"
+  "tab04_mappings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_mappings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

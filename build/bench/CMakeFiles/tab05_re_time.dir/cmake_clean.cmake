@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab05_re_time.dir/tab05_re_time.cc.o"
+  "CMakeFiles/tab05_re_time.dir/tab05_re_time.cc.o.d"
+  "tab05_re_time"
+  "tab05_re_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab05_re_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

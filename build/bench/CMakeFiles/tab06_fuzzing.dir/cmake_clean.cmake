@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab06_fuzzing.dir/tab06_fuzzing.cc.o"
+  "CMakeFiles/tab06_fuzzing.dir/tab06_fuzzing.cc.o.d"
+  "tab06_fuzzing"
+  "tab06_fuzzing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab06_fuzzing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitigation_lab.dir/mitigation_lab.cc.o"
+  "CMakeFiles/mitigation_lab.dir/mitigation_lab.cc.o.d"
+  "mitigation_lab"
+  "mitigation_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitigation_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

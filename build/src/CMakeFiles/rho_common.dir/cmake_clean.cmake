@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rho_common.dir/common/gf2.cc.o"
+  "CMakeFiles/rho_common.dir/common/gf2.cc.o.d"
+  "CMakeFiles/rho_common.dir/common/logging.cc.o"
+  "CMakeFiles/rho_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/rho_common.dir/common/rng.cc.o"
+  "CMakeFiles/rho_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/rho_common.dir/common/stats.cc.o"
+  "CMakeFiles/rho_common.dir/common/stats.cc.o.d"
+  "CMakeFiles/rho_common.dir/common/table.cc.o"
+  "CMakeFiles/rho_common.dir/common/table.cc.o.d"
+  "librho_common.a"
+  "librho_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rho_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

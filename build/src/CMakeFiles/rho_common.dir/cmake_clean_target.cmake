@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librho_common.a"
+)

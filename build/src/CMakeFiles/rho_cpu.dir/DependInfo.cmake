@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/arch_params.cc" "src/CMakeFiles/rho_cpu.dir/cpu/arch_params.cc.o" "gcc" "src/CMakeFiles/rho_cpu.dir/cpu/arch_params.cc.o.d"
+  "/root/repo/src/cpu/branch_predictor.cc" "src/CMakeFiles/rho_cpu.dir/cpu/branch_predictor.cc.o" "gcc" "src/CMakeFiles/rho_cpu.dir/cpu/branch_predictor.cc.o.d"
+  "/root/repo/src/cpu/kernel.cc" "src/CMakeFiles/rho_cpu.dir/cpu/kernel.cc.o" "gcc" "src/CMakeFiles/rho_cpu.dir/cpu/kernel.cc.o.d"
+  "/root/repo/src/cpu/sim_cpu.cc" "src/CMakeFiles/rho_cpu.dir/cpu/sim_cpu.cc.o" "gcc" "src/CMakeFiles/rho_cpu.dir/cpu/sim_cpu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rho_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rho_mapping.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rho_cpu.dir/cpu/arch_params.cc.o"
+  "CMakeFiles/rho_cpu.dir/cpu/arch_params.cc.o.d"
+  "CMakeFiles/rho_cpu.dir/cpu/branch_predictor.cc.o"
+  "CMakeFiles/rho_cpu.dir/cpu/branch_predictor.cc.o.d"
+  "CMakeFiles/rho_cpu.dir/cpu/kernel.cc.o"
+  "CMakeFiles/rho_cpu.dir/cpu/kernel.cc.o.d"
+  "CMakeFiles/rho_cpu.dir/cpu/sim_cpu.cc.o"
+  "CMakeFiles/rho_cpu.dir/cpu/sim_cpu.cc.o.d"
+  "librho_cpu.a"
+  "librho_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rho_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

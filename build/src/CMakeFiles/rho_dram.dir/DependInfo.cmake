@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/controller.cc" "src/CMakeFiles/rho_dram.dir/dram/controller.cc.o" "gcc" "src/CMakeFiles/rho_dram.dir/dram/controller.cc.o.d"
+  "/root/repo/src/dram/dimm.cc" "src/CMakeFiles/rho_dram.dir/dram/dimm.cc.o" "gcc" "src/CMakeFiles/rho_dram.dir/dram/dimm.cc.o.d"
+  "/root/repo/src/dram/dimm_profile.cc" "src/CMakeFiles/rho_dram.dir/dram/dimm_profile.cc.o" "gcc" "src/CMakeFiles/rho_dram.dir/dram/dimm_profile.cc.o.d"
+  "/root/repo/src/dram/rfm.cc" "src/CMakeFiles/rho_dram.dir/dram/rfm.cc.o" "gcc" "src/CMakeFiles/rho_dram.dir/dram/rfm.cc.o.d"
+  "/root/repo/src/dram/timing.cc" "src/CMakeFiles/rho_dram.dir/dram/timing.cc.o" "gcc" "src/CMakeFiles/rho_dram.dir/dram/timing.cc.o.d"
+  "/root/repo/src/dram/trr.cc" "src/CMakeFiles/rho_dram.dir/dram/trr.cc.o" "gcc" "src/CMakeFiles/rho_dram.dir/dram/trr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rho_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rho_mapping.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

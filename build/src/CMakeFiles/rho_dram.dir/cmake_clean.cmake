@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rho_dram.dir/dram/controller.cc.o"
+  "CMakeFiles/rho_dram.dir/dram/controller.cc.o.d"
+  "CMakeFiles/rho_dram.dir/dram/dimm.cc.o"
+  "CMakeFiles/rho_dram.dir/dram/dimm.cc.o.d"
+  "CMakeFiles/rho_dram.dir/dram/dimm_profile.cc.o"
+  "CMakeFiles/rho_dram.dir/dram/dimm_profile.cc.o.d"
+  "CMakeFiles/rho_dram.dir/dram/rfm.cc.o"
+  "CMakeFiles/rho_dram.dir/dram/rfm.cc.o.d"
+  "CMakeFiles/rho_dram.dir/dram/timing.cc.o"
+  "CMakeFiles/rho_dram.dir/dram/timing.cc.o.d"
+  "CMakeFiles/rho_dram.dir/dram/trr.cc.o"
+  "CMakeFiles/rho_dram.dir/dram/trr.cc.o.d"
+  "librho_dram.a"
+  "librho_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rho_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

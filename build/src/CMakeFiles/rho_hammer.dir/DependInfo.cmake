@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hammer/flip_analysis.cc" "src/CMakeFiles/rho_hammer.dir/hammer/flip_analysis.cc.o" "gcc" "src/CMakeFiles/rho_hammer.dir/hammer/flip_analysis.cc.o.d"
+  "/root/repo/src/hammer/hammer_session.cc" "src/CMakeFiles/rho_hammer.dir/hammer/hammer_session.cc.o" "gcc" "src/CMakeFiles/rho_hammer.dir/hammer/hammer_session.cc.o.d"
+  "/root/repo/src/hammer/nop_tuner.cc" "src/CMakeFiles/rho_hammer.dir/hammer/nop_tuner.cc.o" "gcc" "src/CMakeFiles/rho_hammer.dir/hammer/nop_tuner.cc.o.d"
+  "/root/repo/src/hammer/pattern.cc" "src/CMakeFiles/rho_hammer.dir/hammer/pattern.cc.o" "gcc" "src/CMakeFiles/rho_hammer.dir/hammer/pattern.cc.o.d"
+  "/root/repo/src/hammer/pattern_fuzzer.cc" "src/CMakeFiles/rho_hammer.dir/hammer/pattern_fuzzer.cc.o" "gcc" "src/CMakeFiles/rho_hammer.dir/hammer/pattern_fuzzer.cc.o.d"
+  "/root/repo/src/hammer/sweep.cc" "src/CMakeFiles/rho_hammer.dir/hammer/sweep.cc.o" "gcc" "src/CMakeFiles/rho_hammer.dir/hammer/sweep.cc.o.d"
+  "/root/repo/src/hammer/tuned_configs.cc" "src/CMakeFiles/rho_hammer.dir/hammer/tuned_configs.cc.o" "gcc" "src/CMakeFiles/rho_hammer.dir/hammer/tuned_configs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rho_memsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rho_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rho_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rho_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rho_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rho_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rho_hammer.dir/hammer/flip_analysis.cc.o"
+  "CMakeFiles/rho_hammer.dir/hammer/flip_analysis.cc.o.d"
+  "CMakeFiles/rho_hammer.dir/hammer/hammer_session.cc.o"
+  "CMakeFiles/rho_hammer.dir/hammer/hammer_session.cc.o.d"
+  "CMakeFiles/rho_hammer.dir/hammer/nop_tuner.cc.o"
+  "CMakeFiles/rho_hammer.dir/hammer/nop_tuner.cc.o.d"
+  "CMakeFiles/rho_hammer.dir/hammer/pattern.cc.o"
+  "CMakeFiles/rho_hammer.dir/hammer/pattern.cc.o.d"
+  "CMakeFiles/rho_hammer.dir/hammer/pattern_fuzzer.cc.o"
+  "CMakeFiles/rho_hammer.dir/hammer/pattern_fuzzer.cc.o.d"
+  "CMakeFiles/rho_hammer.dir/hammer/sweep.cc.o"
+  "CMakeFiles/rho_hammer.dir/hammer/sweep.cc.o.d"
+  "CMakeFiles/rho_hammer.dir/hammer/tuned_configs.cc.o"
+  "CMakeFiles/rho_hammer.dir/hammer/tuned_configs.cc.o.d"
+  "librho_hammer.a"
+  "librho_hammer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rho_hammer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

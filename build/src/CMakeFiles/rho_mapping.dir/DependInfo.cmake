@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapping/address_mapping.cc" "src/CMakeFiles/rho_mapping.dir/mapping/address_mapping.cc.o" "gcc" "src/CMakeFiles/rho_mapping.dir/mapping/address_mapping.cc.o.d"
+  "/root/repo/src/mapping/mapping_presets.cc" "src/CMakeFiles/rho_mapping.dir/mapping/mapping_presets.cc.o" "gcc" "src/CMakeFiles/rho_mapping.dir/mapping/mapping_presets.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rho_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

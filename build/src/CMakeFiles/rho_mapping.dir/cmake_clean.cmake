@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rho_mapping.dir/mapping/address_mapping.cc.o"
+  "CMakeFiles/rho_mapping.dir/mapping/address_mapping.cc.o.d"
+  "CMakeFiles/rho_mapping.dir/mapping/mapping_presets.cc.o"
+  "CMakeFiles/rho_mapping.dir/mapping/mapping_presets.cc.o.d"
+  "librho_mapping.a"
+  "librho_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rho_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

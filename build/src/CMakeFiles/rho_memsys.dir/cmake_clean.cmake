@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rho_memsys.dir/memsys/memory_system.cc.o"
+  "CMakeFiles/rho_memsys.dir/memsys/memory_system.cc.o.d"
+  "CMakeFiles/rho_memsys.dir/memsys/timing_probe.cc.o"
+  "CMakeFiles/rho_memsys.dir/memsys/timing_probe.cc.o.d"
+  "librho_memsys.a"
+  "librho_memsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rho_memsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

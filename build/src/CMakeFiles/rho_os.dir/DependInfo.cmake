@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/buddy_allocator.cc" "src/CMakeFiles/rho_os.dir/os/buddy_allocator.cc.o" "gcc" "src/CMakeFiles/rho_os.dir/os/buddy_allocator.cc.o.d"
+  "/root/repo/src/os/page_table.cc" "src/CMakeFiles/rho_os.dir/os/page_table.cc.o" "gcc" "src/CMakeFiles/rho_os.dir/os/page_table.cc.o.d"
+  "/root/repo/src/os/pagemap.cc" "src/CMakeFiles/rho_os.dir/os/pagemap.cc.o" "gcc" "src/CMakeFiles/rho_os.dir/os/pagemap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rho_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rho_memsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rho_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rho_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rho_mapping.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rho_os.dir/os/buddy_allocator.cc.o"
+  "CMakeFiles/rho_os.dir/os/buddy_allocator.cc.o.d"
+  "CMakeFiles/rho_os.dir/os/page_table.cc.o"
+  "CMakeFiles/rho_os.dir/os/page_table.cc.o.d"
+  "CMakeFiles/rho_os.dir/os/pagemap.cc.o"
+  "CMakeFiles/rho_os.dir/os/pagemap.cc.o.d"
+  "librho_os.a"
+  "librho_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rho_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

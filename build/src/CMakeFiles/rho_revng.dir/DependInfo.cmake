@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/revng/baseline_dare.cc" "src/CMakeFiles/rho_revng.dir/revng/baseline_dare.cc.o" "gcc" "src/CMakeFiles/rho_revng.dir/revng/baseline_dare.cc.o.d"
+  "/root/repo/src/revng/baseline_drama.cc" "src/CMakeFiles/rho_revng.dir/revng/baseline_drama.cc.o" "gcc" "src/CMakeFiles/rho_revng.dir/revng/baseline_drama.cc.o.d"
+  "/root/repo/src/revng/baseline_dramdig.cc" "src/CMakeFiles/rho_revng.dir/revng/baseline_dramdig.cc.o" "gcc" "src/CMakeFiles/rho_revng.dir/revng/baseline_dramdig.cc.o.d"
+  "/root/repo/src/revng/reverse_engineer.cc" "src/CMakeFiles/rho_revng.dir/revng/reverse_engineer.cc.o" "gcc" "src/CMakeFiles/rho_revng.dir/revng/reverse_engineer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rho_memsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rho_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rho_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rho_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rho_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rho_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

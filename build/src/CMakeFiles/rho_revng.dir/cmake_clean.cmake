@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rho_revng.dir/revng/baseline_dare.cc.o"
+  "CMakeFiles/rho_revng.dir/revng/baseline_dare.cc.o.d"
+  "CMakeFiles/rho_revng.dir/revng/baseline_drama.cc.o"
+  "CMakeFiles/rho_revng.dir/revng/baseline_drama.cc.o.d"
+  "CMakeFiles/rho_revng.dir/revng/baseline_dramdig.cc.o"
+  "CMakeFiles/rho_revng.dir/revng/baseline_dramdig.cc.o.d"
+  "CMakeFiles/rho_revng.dir/revng/reverse_engineer.cc.o"
+  "CMakeFiles/rho_revng.dir/revng/reverse_engineer.cc.o.d"
+  "librho_revng.a"
+  "librho_revng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rho_revng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rho_revng.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_gf2.cc" "tests/CMakeFiles/test_common.dir/test_gf2.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/test_gf2.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/test_common.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/test_common.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_table.cc" "tests/CMakeFiles/test_common.dir/test_table.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/test_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rho_revng.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rho_exploit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rho_hammer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rho_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rho_memsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rho_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rho_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rho_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rho_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

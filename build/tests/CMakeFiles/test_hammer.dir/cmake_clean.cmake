@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hammer.dir/test_flip_analysis.cc.o"
+  "CMakeFiles/test_hammer.dir/test_flip_analysis.cc.o.d"
+  "CMakeFiles/test_hammer.dir/test_hammer.cc.o"
+  "CMakeFiles/test_hammer.dir/test_hammer.cc.o.d"
+  "test_hammer"
+  "test_hammer.pdb"
+  "test_hammer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hammer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_revng.dir/test_revng.cc.o"
+  "CMakeFiles/test_revng.dir/test_revng.cc.o.d"
+  "test_revng"
+  "test_revng.pdb"
+  "test_revng[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_revng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
