@@ -13,13 +13,40 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "common/thread_pool.hh"
 
 namespace rho::bench
 {
+
+/**
+ * Parse `--jobs N` (or `-j N`) from argv; any other arguments are
+ * left for the bench to interpret. Returns 0 (= hardware_concurrency)
+ * when the flag is absent.
+ */
+inline unsigned
+parseJobs(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (!std::strcmp(argv[i], "--jobs") || !std::strcmp(argv[i], "-j"))
+            return static_cast<unsigned>(std::atoi(argv[i + 1]));
+    }
+    return 0;
+}
+
+/** Announce the fan-out width a campaign bench will use. */
+inline void
+announceJobs(unsigned jobs)
+{
+    unsigned resolved = jobs == 0 ? ThreadPool::defaultJobs() : jobs;
+    std::printf("campaign engine: %u worker thread%s%s\n\n", resolved,
+                resolved == 1 ? "" : "s",
+                jobs == 0 ? " (auto; override with --jobs N)" : "");
+}
 
 /** Global budget multiplier from RHO_BENCH_SCALE. */
 inline double

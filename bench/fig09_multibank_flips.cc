@@ -4,6 +4,7 @@
  * load-based vs prefetch-based hammering across 1-4 banks on all four
  * architectures. Prefetch runs use rhoHammer's counter-speculation
  * (the paradigm under evaluation); loads run as the classic baseline.
+ * Campaigns fan out over the parallel engine (`--jobs N`).
  */
 
 #include "bench_util.hh"
@@ -13,15 +14,18 @@
 using namespace rho;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("Fig. 9",
                   "total fuzzing flips: load vs prefetch x 1-4 banks "
                   "x 4 archs (DIMM S3)");
+    unsigned jobs = bench::parseJobs(argc, argv);
+    bench::announceJobs(jobs);
 
     FuzzParams params;
     params.numPatterns = static_cast<unsigned>(bench::scaled(10));
     params.locationsPerPattern = 2;
+    params.jobs = jobs;
     std::uint64_t budget = bench::scaled(400000);
 
     TextTable table({"arch", "instr", "1 bank", "2 banks", "3 banks",
@@ -31,15 +35,12 @@ main()
             std::vector<std::string> row = {
                 archName(arch), prefetch ? "prefetch" : "load"};
             for (unsigned banks = 1; banks <= 4; ++banks) {
-                MemorySystem sys(arch, DimmProfile::byId("S3"),
-                                 TrrConfig{}, 10);
-                HammerSession session(sys, 10);
-                PatternFuzzer fuzzer(session, 11);
+                SystemSpec spec(arch, DimmProfile::byId("S3"));
                 HammerConfig cfg = prefetch
                     ? rhoConfig(arch, true, budget)
                     : baselineConfig(arch, true, budget);
                 cfg.numBanks = banks;
-                auto res = fuzzer.run(cfg, params);
+                auto res = fuzzCampaign(spec, cfg, params, 10);
                 row.push_back(std::to_string(res.totalFlips));
             }
             table.addRow(row);

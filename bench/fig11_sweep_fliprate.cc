@@ -3,6 +3,8 @@
  * Figure 11: cumulative bit flips over iterative sweeping of the best
  * pattern on the four architectures (rhoHammer vs the load baseline),
  * plus the average flip rates and speedups reported in section 5.3.
+ * Fuzzing and sweeping both fan out over the parallel campaign engine
+ * (`--jobs N`; output is bit-identical for any job count).
  */
 
 #include "bench_util.hh"
@@ -13,53 +15,59 @@
 using namespace rho;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("Fig. 11",
                   "cumulative flips over best-pattern sweeping; flip "
                   "rates and speedups (DIMM S4)");
+    unsigned jobs = bench::parseJobs(argc, argv);
+    bench::announceJobs(jobs);
 
-    unsigned locations = static_cast<unsigned>(bench::scaled(24));
+    SweepParams sp;
+    sp.numLocations = static_cast<unsigned>(bench::scaled(24));
+    sp.jobs = jobs;
     std::uint64_t budget = bench::scaled(380000);
 
     for (Arch arch : allArchs) {
-        MemorySystem sys(arch, DimmProfile::byId("S4"), TrrConfig{}, 22);
-        HammerSession session(sys, 22);
+        SystemSpec spec(arch, DimmProfile::byId("S4"));
 
         // Best pattern from a short rhoHammer fuzz; per the paper, on
         // Alder/Raptor the baseline reuses rhoHammer's best pattern
         // as a fallback since its own fuzzing yields nothing.
-        PatternFuzzer fuzzer(session, 23);
         FuzzParams fp;
         fp.numPatterns = static_cast<unsigned>(bench::scaled(8));
         fp.locationsPerPattern = 2;
-        auto fz = fuzzer.run(rhoConfig(arch, true, budget), fp);
+        fp.jobs = jobs;
+        auto fz = fuzzCampaign(spec, rhoConfig(arch, true, budget), fp,
+                               23);
         if (!fz.bestPattern) {
             std::printf("%s: no effective pattern at this scale\n",
                         archName(arch).c_str());
             continue;
         }
 
-        auto rho = sweep(session, *fz.bestPattern,
-                         rhoConfig(arch, true, budget), locations, 24);
-        auto bl = sweep(session, *fz.bestPattern,
-                        baselineConfig(arch, false, budget), locations,
-                        24);
+        ParallelStats stats;
+        auto rho = sweepCampaign(spec, *fz.bestPattern,
+                                 rhoConfig(arch, true, budget), sp, 24,
+                                 &stats);
+        auto bl = sweepCampaign(spec, *fz.bestPattern,
+                                baselineConfig(arch, false, budget), sp,
+                                24);
 
         std::printf("--- %s ---\n", archName(arch).c_str());
         std::printf("%-10s", "location:");
-        for (unsigned l = 0; l < locations; l += 4)
+        for (unsigned l = 0; l < sp.numLocations; l += 4)
             std::printf("%8u", l + 4);
         std::printf("\n%-10s", "rho cum:");
         std::uint64_t acc = 0;
-        for (unsigned l = 0; l < locations; ++l) {
+        for (unsigned l = 0; l < sp.numLocations; ++l) {
             acc += rho.flipsPerLocation[l];
             if ((l + 1) % 4 == 0)
                 std::printf("%8llu", (unsigned long long)acc);
         }
         std::printf("\n%-10s", "BL cum:");
         acc = 0;
-        for (unsigned l = 0; l < locations; ++l) {
+        for (unsigned l = 0; l < sp.numLocations; ++l) {
             acc += bl.flipsPerLocation[l];
             if ((l + 1) % 4 == 0)
                 std::printf("%8llu", (unsigned long long)acc);
@@ -70,9 +78,10 @@ main()
                     "%.0f/min",
                     rho_rate, bl_rate);
         if (bl.totalFlips == 0)
-            std::printf(" -> baseline reproduces none\n\n");
+            std::printf(" -> baseline reproduces none");
         else
-            std::printf(" -> %.1fx speedup\n\n", rho_rate / bl_rate);
+            std::printf(" -> %.1fx speedup", rho_rate / bl_rate);
+        std::printf("\nengine: %s\n\n", stats.summary().c_str());
     }
     std::puts("Shape: rhoHammer flips accumulate smoothly at every "
               "location; large speedups on Comet/Rocket; on "

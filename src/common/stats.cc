@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/table.hh"
 
 namespace rho
 {
@@ -126,6 +127,16 @@ percentile(std::vector<double> samples, double p)
     std::size_t i1 = std::min(i0 + 1, samples.size() - 1);
     double frac = idx - i0;
     return samples[i0] * (1 - frac) + samples[i1] * frac;
+}
+
+std::string
+ParallelStats::summary() const
+{
+    return strFormat(
+        "jobs=%u tasks=%llu steals=%llu wall=%.0f ms sim=%.0f ms "
+        "(avg task %.1f ms)",
+        jobs, (unsigned long long)tasksRun, (unsigned long long)steals,
+        wallNs / 1e6, simNs / 1e6, taskWallMs.mean());
 }
 
 } // namespace rho

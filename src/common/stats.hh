@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <string>
 #include <vector>
 
 namespace rho
@@ -74,6 +75,31 @@ class Histogram
 
 /** Percentile of a (copied, sorted) sample vector; p in [0, 100]. */
 double percentile(std::vector<double> samples, double p);
+
+/**
+ * Execution counters of one parallel campaign (sweep / fuzz fan-out):
+ * how the work was scheduled and how wall-clock time relates to the
+ * simulated time the tasks covered. Filled by parallelMapOrdered().
+ */
+struct ParallelStats
+{
+    unsigned jobs = 1;            //!< worker threads used
+    std::uint64_t tasksRun = 0;   //!< tasks executed
+    std::uint64_t steals = 0;     //!< tasks migrated between workers
+    double wallNs = 0.0;          //!< host wall-clock for the fan-out
+    double simNs = 0.0;           //!< simulated ns covered (caller-set)
+    RunningStat taskWallMs;       //!< per-task host wall-clock, ms
+
+    /** Simulated-vs-wall speed ratio (0 when wall time unknown). */
+    double
+    simSpeedup() const
+    {
+        return wallNs > 0.0 ? simNs / wallNs : 0.0;
+    }
+
+    /** One-line human-readable summary for bench output. */
+    std::string summary() const;
+};
 
 } // namespace rho
 

@@ -1,0 +1,129 @@
+#include "common/thread_pool.hh"
+
+#include <algorithm>
+#include <chrono>
+
+namespace rho
+{
+
+unsigned
+ThreadPool::defaultJobs()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned num_threads)
+{
+    unsigned n = std::max(num_threads, 1u);
+    queues.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        queues.push_back(std::make_unique<WorkerQueue>());
+    workers.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lk(stateMutex);
+        stopping = true;
+    }
+    workCv.notify_all();
+    for (auto &t : workers)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    unsigned q;
+    {
+        std::lock_guard<std::mutex> lk(stateMutex);
+        ++pending;
+        q = nextQueue;
+        nextQueue = (nextQueue + 1) % queues.size();
+    }
+    {
+        std::lock_guard<std::mutex> lk(queues[q]->mutex);
+        queues[q]->tasks.push_back(std::move(task));
+    }
+    workCv.notify_one();
+}
+
+bool
+ThreadPool::popLocal(unsigned worker_idx, std::function<void()> &out)
+{
+    WorkerQueue &q = *queues[worker_idx];
+    std::lock_guard<std::mutex> lk(q.mutex);
+    if (q.tasks.empty())
+        return false;
+    // LIFO on the owner's side: best locality for freshly split work.
+    out = std::move(q.tasks.back());
+    q.tasks.pop_back();
+    return true;
+}
+
+bool
+ThreadPool::stealFrom(unsigned thief_idx, std::function<void()> &out)
+{
+    unsigned n = queues.size();
+    for (unsigned d = 1; d < n; ++d) {
+        WorkerQueue &q = *queues[(thief_idx + d) % n];
+        std::lock_guard<std::mutex> lk(q.mutex);
+        if (q.tasks.empty())
+            continue;
+        // FIFO on the thief's side: take the oldest (largest) work.
+        out = std::move(q.tasks.front());
+        q.tasks.pop_front();
+        stealCount.fetch_add(1, std::memory_order_relaxed);
+        return true;
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(unsigned worker_idx)
+{
+    for (;;) {
+        std::function<void()> task;
+        if (popLocal(worker_idx, task) || stealFrom(worker_idx, task)) {
+            task();
+            tasksRunCount.fetch_add(1, std::memory_order_relaxed);
+            bool drained;
+            {
+                std::lock_guard<std::mutex> lk(stateMutex);
+                drained = --pending == 0;
+            }
+            if (drained)
+                idleCv.notify_all();
+            continue;
+        }
+        std::unique_lock<std::mutex> lk(stateMutex);
+        if (stopping)
+            return;
+        // Re-check under the lock: a submit() may have raced our scans.
+        workCv.wait_for(lk, std::chrono::milliseconds(1),
+                        [this] { return stopping || pending > 0; });
+    }
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lk(stateMutex);
+    idleCv.wait(lk, [this] { return pending == 0; });
+}
+
+PoolCounters
+ThreadPool::counters() const
+{
+    PoolCounters c;
+    c.tasksRun = tasksRunCount.load(std::memory_order_relaxed);
+    c.steals = stealCount.load(std::memory_order_relaxed);
+    return c;
+}
+
+} // namespace rho

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Work-stealing thread pool for campaign-level parallelism.
+ *
+ * Tasks are coarse (one full hammer-session simulation each), so the
+ * pool optimizes for predictable semantics, not sub-microsecond
+ * dispatch: each worker owns a deque fed round-robin at submission,
+ * pops its own work LIFO, and steals FIFO from siblings when idle.
+ * The pool never reorders *results* — callers that need ordered
+ * output index into a pre-sized result array (see parallel.hh).
+ */
+
+#ifndef RHO_COMMON_THREAD_POOL_HH
+#define RHO_COMMON_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rho
+{
+
+/** Execution counters of one pool run (wired into ParallelStats). */
+struct PoolCounters
+{
+    std::uint64_t tasksRun = 0; //!< tasks executed to completion
+    std::uint64_t steals = 0;   //!< tasks taken from a sibling's deque
+};
+
+/**
+ * Fixed-size work-stealing pool. Submit any number of tasks, then
+ * wait() for quiescence; counters accumulate across waves. The pool
+ * is not reentrant (tasks must not submit tasks).
+ */
+class ThreadPool
+{
+  public:
+    /** @param num_threads worker count; clamped to >= 1. */
+    explicit ThreadPool(unsigned num_threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Queue one task. Thread-safe w.r.t. other submit() calls. */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished running. */
+    void wait();
+
+    unsigned numThreads() const { return workers.size(); }
+
+    /** Snapshot of the execution counters (call after wait()). */
+    PoolCounters counters() const;
+
+    /**
+     * `hardware_concurrency`, clamped to >= 1 — the meaning of
+     * "jobs = 0" everywhere a job count is configurable.
+     */
+    static unsigned defaultJobs();
+
+  private:
+    struct WorkerQueue
+    {
+        std::deque<std::function<void()>> tasks;
+        std::mutex mutex;
+    };
+
+    void workerLoop(unsigned worker_idx);
+    bool popLocal(unsigned worker_idx, std::function<void()> &out);
+    bool stealFrom(unsigned thief_idx, std::function<void()> &out);
+
+    std::vector<std::unique_ptr<WorkerQueue>> queues;
+    std::vector<std::thread> workers;
+
+    std::mutex stateMutex;
+    std::condition_variable workCv;  //!< workers: work may be available
+    std::condition_variable idleCv;  //!< waiters: pending may be zero
+    std::uint64_t pending = 0;       //!< submitted but not yet finished
+    bool stopping = false;
+    unsigned nextQueue = 0;          //!< round-robin submission cursor
+
+    std::atomic<std::uint64_t> tasksRunCount{0};
+    std::atomic<std::uint64_t> stealCount{0};
+};
+
+} // namespace rho
+
+#endif // RHO_COMMON_THREAD_POOL_HH

@@ -1,5 +1,7 @@
 #include "hammer/pattern_fuzzer.hh"
 
+#include "common/parallel.hh"
+
 namespace rho
 {
 
@@ -34,6 +36,68 @@ PatternFuzzer::run(const HammerConfig &cfg, const FuzzParams &params)
         }
     }
     res.simTimeNs = session.system().now() - t0;
+    return res;
+}
+
+namespace
+{
+
+/** What one pattern-trial task reports back for the ordered merge. */
+struct FuzzTaskResult
+{
+    HammerPattern pattern;
+    std::uint64_t flips = 0;
+    std::uint64_t dramAccesses = 0;
+    Ns simTimeNs = 0.0;
+};
+
+} // namespace
+
+FuzzResult
+fuzzCampaign(const SystemSpec &spec, const HammerConfig &cfg,
+             const FuzzParams &params, std::uint64_t seed,
+             ParallelStats *stats)
+{
+    auto task = [&](unsigned i) -> FuzzTaskResult {
+        std::uint64_t task_seed = hashCombine(seed, i);
+        Rng pattern_rng(task_seed);
+        FuzzTaskResult r;
+        r.pattern = HammerPattern::randomNonUniform(pattern_rng,
+                                                    params.patternParams);
+        MemorySystem sys = spec.instantiate(task_seed);
+        HammerSession session(sys, task_seed);
+        Ns t0 = sys.now();
+        for (unsigned l = 0; l < params.locationsPerPattern; ++l) {
+            HammerLocation loc = session.randomLocation(r.pattern, cfg);
+            HammerOutcome out = session.hammer(r.pattern, loc, cfg);
+            r.flips += out.flips;
+            r.dramAccesses += out.perf.dramAccesses;
+        }
+        r.simTimeNs = sys.now() - t0;
+        return r;
+    };
+
+    auto tasks = parallelMapOrdered(params.numPatterns, params.jobs,
+                                    task, stats);
+
+    // Merge in task-index order: the serial reduction semantics
+    // (earliest strict maximum wins the best-pattern slot) hold for
+    // any job count.
+    FuzzResult res;
+    for (FuzzTaskResult &t : tasks) {
+        if (t.flips > 0) {
+            ++res.effectivePatterns;
+            res.totalFlips += t.flips;
+        }
+        if (t.flips > res.bestPatternFlips) {
+            res.bestPatternFlips = t.flips;
+            res.bestPattern = std::move(t.pattern);
+        }
+        res.dramAccesses += t.dramAccesses;
+        res.simTimeNs += t.simTimeNs;
+    }
+    if (stats)
+        stats->simNs = res.simTimeNs;
     return res;
 }
 

@@ -4,6 +4,15 @@
  * non-uniform patterns, trial each at a few physical locations, and
  * track total/best bit flips — the metric reported in Table 6 and
  * Fig. 9.
+ *
+ * Two drivers are provided:
+ *  - PatternFuzzer::run(): the single-session serial path (device
+ *    state carries over between patterns);
+ *  - fuzzCampaign(): the parallel campaign engine. Every pattern
+ *    trial is an independent task with its own MemorySystem and
+ *    HammerSession seeded hashCombine(seed, task_index); results
+ *    merge in task order, so totalFlips / bestPatternFlips and the
+ *    best-pattern choice are bit-identical for any `jobs` count.
  */
 
 #ifndef RHO_HAMMER_PATTERN_FUZZER_HH
@@ -11,6 +20,7 @@
 
 #include <optional>
 
+#include "common/stats.hh"
 #include "hammer/hammer_session.hh"
 
 namespace rho
@@ -21,6 +31,7 @@ struct FuzzParams
 {
     unsigned numPatterns = 40;
     unsigned locationsPerPattern = 3;
+    unsigned jobs = 0; //!< fuzzCampaign() workers; 0 = hw concurrency
     PatternParams patternParams;
 };
 
@@ -35,7 +46,7 @@ struct FuzzResult
     std::uint64_t dramAccesses = 0;
 };
 
-/** Drives fuzzing campaigns over a HammerSession. */
+/** Drives serial fuzzing campaigns over one shared HammerSession. */
 class PatternFuzzer
 {
   public:
@@ -47,6 +58,19 @@ class PatternFuzzer
     HammerSession &session;
     Rng rng;
 };
+
+/**
+ * Parallel fuzzing campaign: one independent task per pattern, fanned
+ * out over `params.jobs` workers. Pattern i is generated from
+ * Rng(hashCombine(seed, i)) and trialled on a fresh system, so the
+ * outcome is a pure function of (spec, cfg, params, seed) no matter
+ * how many threads run it.
+ *
+ * @param stats optional per-campaign scheduling/timing counters.
+ */
+FuzzResult fuzzCampaign(const SystemSpec &spec, const HammerConfig &cfg,
+                        const FuzzParams &params, std::uint64_t seed,
+                        ParallelStats *stats = nullptr);
 
 } // namespace rho
 

@@ -1,29 +1,39 @@
 #include "hammer/sweep.hh"
 
+#include <algorithm>
+
+#include "common/parallel.hh"
+
 namespace rho
 {
+
+HammerLocation
+sweepLocationAt(const DimmGeometry &geom, const HammerPattern &pattern,
+                std::uint64_t seed, unsigned index)
+{
+    std::uint64_t span = pattern.footprintRows() + 8;
+    HammerLocation loc;
+    loc.bank = static_cast<std::uint32_t>(hashCombine(seed, index)
+                                          % geom.flatBanks());
+    // Non-repeating rows: stride the bank space deterministically.
+    std::uint64_t region =
+        (geom.rowsPerBank - 16) / std::max<std::uint64_t>(span, 1);
+    std::uint64_t slot = (index * 2654435761ULL) % region;
+    loc.baseRow = 8 + slot * span;
+    return loc;
+}
 
 SweepResult
 sweep(HammerSession &session, const HammerPattern &pattern,
       const HammerConfig &cfg, unsigned num_locations, std::uint64_t seed)
 {
     SweepResult res;
-    Rng rng(seed);
     MemorySystem &sys = session.system();
     const auto &geom = sys.dimm().geometry();
 
     Ns t0 = sys.now();
-    std::uint64_t span = pattern.footprintRows() + 8;
     for (unsigned l = 0; l < num_locations; ++l) {
-        HammerLocation loc;
-        loc.bank = static_cast<std::uint32_t>(
-            rng.uniformInt(0, geom.flatBanks() - 1));
-        // Non-repeating rows: stride the bank space deterministically.
-        std::uint64_t region =
-            (geom.rowsPerBank - 16) / std::max<std::uint64_t>(span, 1);
-        std::uint64_t slot = (l * 2654435761ULL) % region;
-        loc.baseRow = 8 + slot * span;
-
+        HammerLocation loc = sweepLocationAt(geom, pattern, seed, l);
         HammerOutcome out = session.hammer(pattern, loc, cfg);
         res.totalFlips += out.flips;
         res.flipsPerLocation.push_back(out.flips);
@@ -32,6 +42,59 @@ sweep(HammerSession &session, const HammerPattern &pattern,
             res.flipList.push_back(f);
     }
     res.simTimeNs = sys.now() - t0;
+    return res;
+}
+
+namespace
+{
+
+/** What one sweep task reports back for the ordered merge. */
+struct SweepTaskResult
+{
+    std::uint64_t flips = 0;
+    Ns simTimeNs = 0.0;
+    std::vector<FlipRecord> flipList;
+};
+
+} // namespace
+
+SweepResult
+sweepCampaign(const SystemSpec &spec, const HammerPattern &pattern,
+              const HammerConfig &cfg, const SweepParams &params,
+              std::uint64_t seed, ParallelStats *stats)
+{
+    const DimmGeometry &geom = spec.dimm->geom;
+
+    auto task = [&](unsigned i) -> SweepTaskResult {
+        std::uint64_t task_seed = hashCombine(seed, i);
+        MemorySystem sys = spec.instantiate(task_seed);
+        HammerSession session(sys, task_seed);
+        HammerLocation loc = sweepLocationAt(geom, pattern, seed, i);
+
+        Ns t0 = sys.now();
+        HammerOutcome out = session.hammer(pattern, loc, cfg);
+        SweepTaskResult r;
+        r.flips = out.flips;
+        r.simTimeNs = sys.now() - t0;
+        r.flipList = std::move(out.flipList);
+        return r;
+    };
+
+    auto tasks = parallelMapOrdered(params.numLocations, params.jobs,
+                                    task, stats);
+
+    // Merge in task-index order: identical output for any job count.
+    SweepResult res;
+    for (const SweepTaskResult &t : tasks) {
+        res.totalFlips += t.flips;
+        res.flipsPerLocation.push_back(t.flips);
+        res.simTimeNs += t.simTimeNs;
+        res.cumulativeTimeNs.push_back(res.simTimeNs);
+        for (const auto &f : t.flipList)
+            res.flipList.push_back(f);
+    }
+    if (stats)
+        stats->simNs = res.simTimeNs;
     return res;
 }
 

@@ -4,6 +4,15 @@
  * effective pattern at many distinct physical locations, simulating
  * the templating phase of a real exploit and yielding the flip-rate
  * metric of Fig. 11.
+ *
+ * Two drivers are provided:
+ *  - sweep(): the single-session serial path, where TRR/refresh state
+ *    carries over between locations (useful for studying state
+ *    accumulation on one simulated machine);
+ *  - sweepCampaign(): the parallel campaign engine. Every location is
+ *    an independent task with its own MemorySystem/HammerSession
+ *    seeded hashCombine(seed, task_index); results merge in task
+ *    order, so output is bit-identical for any `jobs` count.
  */
 
 #ifndef RHO_HAMMER_SWEEP_HH
@@ -11,10 +20,18 @@
 
 #include <vector>
 
+#include "common/stats.hh"
 #include "hammer/hammer_session.hh"
 
 namespace rho
 {
+
+/** Campaign sizing for sweepCampaign(). */
+struct SweepParams
+{
+    unsigned numLocations = 16;
+    unsigned jobs = 0; //!< worker threads; 0 = hardware_concurrency
+};
 
 /** Per-location and cumulative sweep results. */
 struct SweepResult
@@ -36,7 +53,17 @@ struct SweepResult
 };
 
 /**
- * Sweep a pattern over `num_locations` non-repeating locations.
+ * The deterministic location schedule shared by both drivers: the
+ * bank is drawn from hashCombine(seed, index) and the base row
+ * strides the bank space so locations never overlap.
+ */
+HammerLocation sweepLocationAt(const DimmGeometry &geom,
+                               const HammerPattern &pattern,
+                               std::uint64_t seed, unsigned index);
+
+/**
+ * Sweep a pattern over `num_locations` non-repeating locations on one
+ * shared session (serial; device state accumulates across locations).
  * Locations are drawn deterministically from `seed` so different
  * configurations can sweep identical physical rows (the paper
  * controls base addresses when comparing).
@@ -44,6 +71,19 @@ struct SweepResult
 SweepResult sweep(HammerSession &session, const HammerPattern &pattern,
                   const HammerConfig &cfg, unsigned num_locations,
                   std::uint64_t seed);
+
+/**
+ * Parallel sweep campaign: one independent task per location, fanned
+ * out over `params.jobs` workers. Bit-identical results regardless of
+ * job count.
+ *
+ * @param stats optional per-campaign scheduling/timing counters.
+ */
+SweepResult sweepCampaign(const SystemSpec &spec,
+                          const HammerPattern &pattern,
+                          const HammerConfig &cfg,
+                          const SweepParams &params, std::uint64_t seed,
+                          ParallelStats *stats = nullptr);
 
 } // namespace rho
 

@@ -2,8 +2,18 @@
 
 #include <algorithm>
 
+#include "common/logging.hh"
+
 namespace rho
 {
+
+MemorySystem
+SystemSpec::instantiate(std::uint64_t seed) const
+{
+    if (!dimm)
+        panic("SystemSpec::instantiate: no DIMM profile set");
+    return MemorySystem(arch, *dimm, trr, seed, rfm);
+}
 
 MemorySystem::MemorySystem(Arch arch, const DimmProfile &dimm,
                            const TrrConfig &trr_cfg, std::uint64_t seed,

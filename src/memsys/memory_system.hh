@@ -81,6 +81,34 @@ class MemorySystem : public MemoryBackend
     Ns clock = 0.0;
 };
 
+/**
+ * A recipe for building identical MemorySystems on demand.
+ *
+ * Parallel campaign engines instantiate one fresh system per task so
+ * tasks share no mutable state; construction is cheap because the
+ * DIMM's per-row state is lazy (nothing is allocated until a row is
+ * touched). The referenced DimmProfile must outlive the spec — the
+ * static Table 2 profiles (`DimmProfile::byId`) always do.
+ */
+struct SystemSpec
+{
+    Arch arch = Arch::RaptorLake;
+    const DimmProfile *dimm = nullptr;
+    TrrConfig trr{};
+    RfmConfig rfm{};
+
+    SystemSpec() = default;
+    SystemSpec(Arch arch_, const DimmProfile &dimm_,
+               const TrrConfig &trr_ = TrrConfig{},
+               const RfmConfig &rfm_ = RfmConfig{})
+        : arch(arch_), dimm(&dimm_), trr(trr_), rfm(rfm_)
+    {
+    }
+
+    /** Build a fresh system; `seed` feeds the core model only. */
+    MemorySystem instantiate(std::uint64_t seed) const;
+};
+
 } // namespace rho
 
 #endif // RHO_MEMSYS_MEMORY_SYSTEM_HH

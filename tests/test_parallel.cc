@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the parallel campaign engine: work-stealing thread-pool
+ * semantics (ordering, exception propagation, edge cases) and the
+ * headline determinism guarantee — sweep and fuzz campaigns produce
+ * bit-identical results for any job count.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.hh"
+#include "hammer/pattern_fuzzer.hh"
+#include "hammer/sweep.hh"
+#include "hammer/tuned_configs.hh"
+
+using namespace rho;
+
+TEST(ThreadPool, DefaultJobsIsPositive)
+{
+    EXPECT_GE(ThreadPool::defaultJobs(), 1u);
+    EXPECT_EQ(resolveJobs(0), ThreadPool::defaultJobs());
+    EXPECT_EQ(resolveJobs(3), 3u);
+}
+
+TEST(ThreadPool, ZeroTasksIsANoOp)
+{
+    ThreadPool pool(4);
+    pool.wait(); // must not hang with nothing submitted
+    EXPECT_EQ(pool.counters().tasksRun, 0u);
+
+    auto out = parallelMapOrdered(0, 4, [](unsigned i) { return i; });
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    std::atomic<unsigned> hits{0};
+    for (unsigned i = 0; i < 100; ++i)
+        pool.submit([&hits] { hits.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(hits.load(), 100u);
+    EXPECT_EQ(pool.counters().tasksRun, 100u);
+
+    // The pool is reusable: a second wave accumulates counters.
+    for (unsigned i = 0; i < 50; ++i)
+        pool.submit([&hits] { hits.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(hits.load(), 150u);
+    EXPECT_EQ(pool.counters().tasksRun, 150u);
+}
+
+TEST(ThreadPool, OrderedResultsRegardlessOfCompletionOrder)
+{
+    // Stagger task durations so completion order differs from index
+    // order; the result vector must still be index-ordered.
+    auto fn = [](unsigned i) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds((97 - i % 97) * 10));
+        return static_cast<std::uint64_t>(i) * i;
+    };
+    ParallelStats stats;
+    auto out = parallelMapOrdered(97, 4, fn, &stats);
+    ASSERT_EQ(out.size(), 97u);
+    for (unsigned i = 0; i < 97; ++i)
+        EXPECT_EQ(out[i], static_cast<std::uint64_t>(i) * i);
+    EXPECT_EQ(stats.tasksRun, 97u);
+    EXPECT_GT(stats.wallNs, 0.0);
+    EXPECT_EQ(stats.taskWallMs.count(), 97u);
+}
+
+TEST(ThreadPool, ExceptionPropagatesEarliestTaskFirst)
+{
+    auto fn = [](unsigned i) -> int {
+        if (i == 3)
+            throw std::runtime_error("task 3");
+        if (i == 7)
+            throw std::runtime_error("task 7");
+        return static_cast<int>(i);
+    };
+    try {
+        parallelMapOrdered(16, 4, fn);
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        // All tasks quiesce first, then the lowest-index error wins.
+        EXPECT_STREQ(e.what(), "task 3");
+    }
+}
+
+TEST(ThreadPool, SerialFallbackMatchesParallel)
+{
+    auto fn = [](unsigned i) { return splitMix64(i); };
+    auto serial = parallelMapOrdered(32, 1, fn);
+    auto parallel = parallelMapOrdered(32, 8, fn);
+    EXPECT_EQ(serial, parallel);
+}
+
+namespace
+{
+
+/** Canonical small campaign setup used by the determinism suites. */
+SystemSpec
+campaignSpec()
+{
+    return SystemSpec(Arch::CometLake, DimmProfile::byId("S4"));
+}
+
+/** Flip lists must match exactly, including ordering. */
+void
+expectSameFlipList(const std::vector<FlipRecord> &a,
+                   const std::vector<FlipRecord> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].bank, b[i].bank) << "flip " << i;
+        EXPECT_EQ(a[i].row, b[i].row) << "flip " << i;
+        EXPECT_EQ(a[i].bitOffset, b[i].bitOffset) << "flip " << i;
+        EXPECT_EQ(a[i].toOne, b[i].toOne) << "flip " << i;
+        EXPECT_EQ(a[i].when, b[i].when) << "flip " << i;
+    }
+}
+
+} // namespace
+
+TEST(Determinism, FuzzCampaignBitIdenticalAcrossJobCounts)
+{
+    SystemSpec spec = campaignSpec();
+    HammerConfig cfg = rhoConfig(Arch::CometLake, true, 150000);
+    FuzzParams params;
+    params.numPatterns = 5;
+    params.locationsPerPattern = 1;
+
+    for (std::uint64_t seed : {11ULL, 12ULL, 13ULL}) {
+        params.jobs = 1;
+        FuzzResult ref = fuzzCampaign(spec, cfg, params, seed);
+        for (unsigned jobs : {2u, 8u}) {
+            params.jobs = jobs;
+            FuzzResult got = fuzzCampaign(spec, cfg, params, seed);
+            EXPECT_EQ(got.totalFlips, ref.totalFlips)
+                << "seed " << seed << " jobs " << jobs;
+            EXPECT_EQ(got.bestPatternFlips, ref.bestPatternFlips)
+                << "seed " << seed << " jobs " << jobs;
+            EXPECT_EQ(got.effectivePatterns, ref.effectivePatterns);
+            EXPECT_EQ(got.dramAccesses, ref.dramAccesses);
+            EXPECT_EQ(got.simTimeNs, ref.simTimeNs);
+            ASSERT_EQ(got.bestPattern.has_value(),
+                      ref.bestPattern.has_value());
+            if (ref.bestPattern) {
+                EXPECT_EQ(got.bestPattern->id(), ref.bestPattern->id());
+            }
+        }
+    }
+}
+
+TEST(Determinism, SweepCampaignBitIdenticalAcrossJobCounts)
+{
+    SystemSpec spec = campaignSpec();
+    HammerConfig cfg = rhoConfig(Arch::CometLake, true, 150000);
+    SweepParams params;
+    params.numLocations = 6;
+
+    for (std::uint64_t seed : {21ULL, 22ULL, 23ULL}) {
+        Rng pattern_rng(seed);
+        HammerPattern pattern =
+            HammerPattern::randomNonUniform(pattern_rng);
+
+        params.jobs = 1;
+        SweepResult ref = sweepCampaign(spec, pattern, cfg, params, seed);
+        for (unsigned jobs : {2u, 8u}) {
+            params.jobs = jobs;
+            SweepResult got =
+                sweepCampaign(spec, pattern, cfg, params, seed);
+            EXPECT_EQ(got.totalFlips, ref.totalFlips)
+                << "seed " << seed << " jobs " << jobs;
+            EXPECT_EQ(got.flipsPerLocation, ref.flipsPerLocation);
+            EXPECT_EQ(got.cumulativeTimeNs, ref.cumulativeTimeNs);
+            EXPECT_EQ(got.simTimeNs, ref.simTimeNs);
+            expectSameFlipList(got.flipList, ref.flipList);
+        }
+    }
+}
+
+TEST(Determinism, CampaignStatsReflectScheduling)
+{
+    SystemSpec spec = campaignSpec();
+    HammerConfig cfg = rhoConfig(Arch::CometLake, true, 60000);
+    FuzzParams params;
+    params.numPatterns = 6;
+    params.locationsPerPattern = 1;
+    params.jobs = 3;
+
+    ParallelStats stats;
+    fuzzCampaign(spec, cfg, params, 5, &stats);
+    EXPECT_EQ(stats.jobs, 3u);
+    EXPECT_EQ(stats.tasksRun, 6u);
+    EXPECT_GT(stats.wallNs, 0.0);
+    EXPECT_GT(stats.simNs, 0.0);
+    EXPECT_EQ(stats.taskWallMs.count(), 6u);
+}

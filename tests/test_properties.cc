@@ -12,10 +12,104 @@
 #include <gtest/gtest.h>
 
 #include "dram/dimm.hh"
+#include "hammer/sweep.hh"
+#include "hammer/tuned_configs.hh"
 #include "mapping/mapping_presets.hh"
 #include "os/buddy_allocator.hh"
 
 using namespace rho;
+
+/**
+ * GF(2) round-trip over every Table 4 preset: for each architecture
+ * and supported geometry, addr -> (bank,row,col) -> addr must be the
+ * identity, and dram -> addr -> dram likewise.
+ */
+TEST(MappingRoundTrip, AllTable4PresetsAreIdentity)
+{
+    struct Geometry
+    {
+        unsigned sizeGib;
+        unsigned ranks;
+    };
+    const Geometry geometries[] = {{8, 1}, {16, 2}, {32, 2}};
+
+    for (Arch arch : allArchs) {
+        for (const Geometry &g : geometries) {
+            AddressMapping m = mappingFor(arch, g.sizeGib, g.ranks);
+            ASSERT_TRUE(m.isBijective()) << m.describe();
+
+            // Structured probes: walk each physical bit plus dense
+            // low addresses, then a pseudo-random spray.
+            std::vector<PhysAddr> probes;
+            for (unsigned b = 0; b < m.physBits(); ++b)
+                probes.push_back(1ULL << b);
+            for (PhysAddr pa = 0; pa < 4096; pa += 64)
+                probes.push_back(pa);
+            Rng rng(hashCombine(static_cast<std::uint64_t>(arch),
+                                g.sizeGib));
+            for (int i = 0; i < 4096; ++i)
+                probes.push_back(rng.uniformInt(0, m.memBytes() - 1));
+
+            for (PhysAddr pa : probes) {
+                DramAddr da = m.decode(pa);
+                EXPECT_EQ(m.encode(da), pa)
+                    << archName(arch) << " " << g.sizeGib << "GiB";
+            }
+
+            // And the reverse direction on in-range coordinates.
+            for (int i = 0; i < 1024; ++i) {
+                DramAddr da;
+                da.bank = static_cast<std::uint32_t>(
+                    rng.uniformInt(0, m.numBanks() - 1));
+                da.row = rng.uniformInt(0, m.numRows() - 1);
+                da.col = rng.uniformInt(0, m.numCols() - 1);
+                DramAddr rt = m.decode(m.encode(da));
+                EXPECT_EQ(rt.bank, da.bank);
+                EXPECT_EQ(rt.row, da.row);
+                EXPECT_EQ(rt.col, da.col);
+            }
+        }
+    }
+}
+
+/** flipsPerMinute must be well-defined before any location ran. */
+TEST(SweepResultProperties, FlipsPerMinuteZeroTimeIsZero)
+{
+    SweepResult res;
+    EXPECT_EQ(res.simTimeNs, 0.0);
+    EXPECT_EQ(res.flipsPerMinute(), 0.0); // no division by zero / NaN
+
+    // Flips without elapsed time (degenerate merge) still yield 0.
+    res.totalFlips = 42;
+    EXPECT_EQ(res.flipsPerMinute(), 0.0);
+
+    // With time, the rate is finite and consistent.
+    res.simTimeNs = 30e9; // half a minute
+    EXPECT_DOUBLE_EQ(res.flipsPerMinute(), 84.0);
+}
+
+/** A single-location campaign produces a coherent one-entry result. */
+TEST(SweepResultProperties, SingleLocationSweep)
+{
+    SystemSpec spec(Arch::CometLake, DimmProfile::byId("S4"));
+    Rng rng(31);
+    HammerPattern pattern = HammerPattern::randomNonUniform(rng);
+    SweepParams params;
+    params.numLocations = 1;
+    params.jobs = 1;
+
+    SweepResult res =
+        sweepCampaign(spec, pattern,
+                      rhoConfig(Arch::CometLake, true, 120000), params,
+                      31);
+    ASSERT_EQ(res.flipsPerLocation.size(), 1u);
+    ASSERT_EQ(res.cumulativeTimeNs.size(), 1u);
+    EXPECT_EQ(res.flipsPerLocation[0], res.totalFlips);
+    EXPECT_EQ(res.cumulativeTimeNs[0], res.simTimeNs);
+    EXPECT_GT(res.simTimeNs, 0.0);
+    EXPECT_GE(res.flipsPerMinute(), 0.0);
+    EXPECT_EQ(res.flipList.size(), res.totalFlips);
+}
 
 class MappingBijection : public ::testing::TestWithParam<Arch>
 {

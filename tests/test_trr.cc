@@ -11,6 +11,8 @@
 
 #include "dram/dimm.hh"
 #include "dram/trr.hh"
+#include "hammer/hammer_session.hh"
+#include "hammer/tuned_configs.hh"
 
 using namespace rho;
 
@@ -107,6 +109,83 @@ TEST(Trr, WithoutTrrDoubleSidedFlips)
     TrrConfig off;
     off.enabled = false;
     EXPECT_GT(doubleSidedFlips(off), 0u);
+}
+
+/**
+ * Regression for the Misra–Gries evasion mechanism DESIGN.md §3.2
+ * rests on: a sampled aggressor whose counter has accumulated real
+ * weight is *evicted* by a stream of distinct decoy activations, so
+ * it never reaches the trigger threshold.
+ */
+TEST(TrrEvasion, DecoyChurnEvictsASampledAggressorCounter)
+{
+    TrrConfig cfg;
+    cfg.sampleProb = 1.0; // deterministic for the regression
+    cfg.counters = 4;
+    cfg.matchThreshold = 16;
+    TrrSampler s(cfg, 1);
+
+    // The aggressor accumulates weight just below the threshold...
+    for (int i = 0; i < 12; ++i)
+        s.observeAct(0, 42);
+    // ...then Blacksmith-style decoys (all distinct rows) churn the
+    // table: Misra-Gries decrements drain the aggressor's counter and
+    // finally evict the entry.
+    for (int d = 0; d < 200; ++d)
+        s.observeAct(0, 20000 + d);
+    // Even hammering the aggressor some more afterwards stays below
+    // threshold: its history was wiped with the eviction.
+    for (int i = 0; i < 12; ++i)
+        s.observeAct(0, 42);
+    EXPECT_TRUE(s.onRefreshTick().empty());
+
+    // Control: the same total aggressor weight without decoy churn
+    // trips the sampler.
+    TrrSampler control(cfg, 1);
+    for (int i = 0; i < 24; ++i)
+        control.observeAct(0, 42);
+    auto targets = control.onRefreshTick();
+    ASSERT_EQ(targets.size(), 1u);
+    EXPECT_EQ(targets[0].row, 42u);
+}
+
+/**
+ * End-to-end pin of the evasion behaviour through the full attack
+ * stack: with in-DRAM TRR enabled, the uniform double-sided pattern
+ * is caught (zero flips) while a Blacksmith-style non-uniform
+ * pattern's decoy activations evade the sampler and produce flips.
+ */
+TEST(TrrEvasion, NonUniformFlipsWhereUniformIsCaught)
+{
+    const std::uint64_t budget = 300000;
+    HammerConfig cfg = rhoConfig(Arch::CometLake, true, budget);
+
+    // Uniform double-sided: TRR locks onto the single aggressor pair.
+    {
+        MemorySystem sys(Arch::CometLake, DimmProfile::byId("S4"),
+                         TrrConfig{}, 40);
+        HammerSession session(sys, 40);
+        HammerPattern uniform = HammerPattern::doubleSided();
+        auto out =
+            session.hammer(uniform, HammerLocation{1, 5000}, cfg);
+        EXPECT_EQ(out.flips, 0u);
+        EXPECT_GT(sys.dimm().trrRefreshCount(), 0u);
+    }
+
+    // Non-uniform: decoy churn evades the sampler; across a few
+    // seeds the pattern family reliably produces flips.
+    std::uint64_t nonuniform_flips = 0;
+    for (std::uint64_t seed = 1; seed <= 6 && nonuniform_flips == 0;
+         ++seed) {
+        MemorySystem sys(Arch::CometLake, DimmProfile::byId("S4"),
+                         TrrConfig{}, seed);
+        HammerSession session(sys, seed);
+        Rng rng(seed);
+        HammerPattern pattern = HammerPattern::randomNonUniform(rng);
+        auto loc = session.randomLocation(pattern, cfg);
+        nonuniform_flips += session.hammer(pattern, loc, cfg).flips;
+    }
+    EXPECT_GT(nonuniform_flips, 0u);
 }
 
 TEST(Trr, PtrrStopsEvasiveHammering)
