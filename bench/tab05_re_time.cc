@@ -61,6 +61,8 @@ main()
     std::vector<std::string> dare_row = {"DARE"};
     std::vector<std::string> rho_row = {"rhoHammer"};
 
+    RetryStats drama_retry, dramdig_retry, dare_retry, rho_retry;
+
     for (Arch arch : allArchs) {
         unsigned ok;
         double t;
@@ -73,6 +75,7 @@ main()
             auto rec = tool.run();
             ok += rec.matches(rig.sys.mapping());
             t += rec.simTimeNs / 1e9;
+            drama_retry += rec.measureRetry;
         }
         drama_row.push_back(cell(t / runs, ok, runs, false));
 
@@ -84,6 +87,7 @@ main()
             auto rec = tool.run();
             ok += rec.matches(rig.sys.mapping());
             t += rec.simTimeNs / 1e9;
+            dramdig_retry += rec.measureRetry;
         }
         dramdig_row.push_back(cell(t / runs, ok, runs, true));
 
@@ -96,6 +100,7 @@ main()
             auto rec = tool.run();
             ok += rec.matches(rig.sys.mapping());
             t += rec.simTimeNs / 1e9;
+            dare_retry += rec.measureRetry;
         }
         dare_row.push_back(cell(t / runs, ok, runs, false));
 
@@ -107,6 +112,7 @@ main()
             auto rec = tool.run();
             ok += rec.matches(rig.sys.mapping());
             t += rec.simTimeNs / 1e9;
+            rho_retry += rec.measureRetry;
         }
         rho_row.push_back(ok == runs ? strFormat("%.1fs", t / runs)
                                      : cell(t / runs, ok, runs, true));
@@ -116,6 +122,13 @@ main()
     table.addRow(dare_row);
     table.addRow(rho_row);
     table.print();
+    std::printf("\nmeasurement retries (all archs, %u runs each):\n"
+                "  DRAMA     %s\n  DRAMDig   %s\n  DARE      %s\n"
+                "  rhoHammer %s\n",
+                runs, drama_retry.summary().c_str(),
+                dramdig_retry.summary().c_str(),
+                dare_retry.summary().c_str(),
+                rho_retry.summary().c_str());
     std::puts("\n(*) partially non-deterministic. Shape: rhoHammer "
               "recovers all platforms in seconds; DRAMDig is ~two "
               "orders of magnitude slower and aborts on Alder/Raptor; "

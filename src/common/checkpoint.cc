@@ -1,0 +1,99 @@
+#include "common/checkpoint.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace rho
+{
+
+std::string
+encodeDouble(double x)
+{
+    return strFormat("%016llx",
+                     (unsigned long long)std::bit_cast<std::uint64_t>(x));
+}
+
+std::optional<double>
+decodeDouble(const std::string &s)
+{
+    if (s.size() != 16)
+        return std::nullopt;
+    std::uint64_t bits = 0;
+    for (char c : s) {
+        int digit;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            digit = c - 'a' + 10;
+        else
+            return std::nullopt;
+        bits = (bits << 4) | static_cast<std::uint64_t>(digit);
+    }
+    return std::bit_cast<double>(bits);
+}
+
+TaskJournal::TaskJournal(const std::string &path, std::uint64_t key,
+                         const std::string &kind)
+    : filePath(path)
+{
+    std::string expected_header =
+        strFormat("rho-journal v1 %s %016llx", kind.c_str(),
+                  (unsigned long long)key);
+
+    bool reusable = false;
+    {
+        std::ifstream in(filePath);
+        std::string line;
+        if (in && std::getline(in, line) && line == expected_header) {
+            reusable = true;
+            // A line is a complete record only if the stream did not
+            // hit EOF mid-line; getline() sets eofbit when the final
+            // line lacks a terminating newline (torn write).
+            while (std::getline(in, line) && !in.eof()) {
+                std::istringstream rec(line);
+                std::string tag;
+                unsigned index;
+                if (!(rec >> tag >> index) || tag != "task")
+                    continue; // unreadable record: skip, keep the rest
+                std::string payload;
+                std::getline(rec, payload);
+                if (!payload.empty() && payload.front() == ' ')
+                    payload.erase(0, 1);
+                restored[index] = payload;
+            }
+        }
+    }
+
+    if (!reusable) {
+        // Fresh journal (or a stale one from different parameters).
+        std::ofstream out(filePath, std::ios::trunc);
+        if (!out)
+            fatal("TaskJournal: cannot write %s", filePath.c_str());
+        out << expected_header << "\n" << std::flush;
+    }
+}
+
+std::optional<std::string>
+TaskJournal::lookup(unsigned index) const
+{
+    auto it = restored.find(index);
+    if (it == restored.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+TaskJournal::record(unsigned index, const std::string &payload)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    std::ofstream out(filePath, std::ios::app);
+    if (!out)
+        fatal("TaskJournal: cannot append to %s", filePath.c_str());
+    out << "task " << index << " " << payload << "\n" << std::flush;
+}
+
+} // namespace rho

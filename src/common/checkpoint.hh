@@ -1,0 +1,82 @@
+/**
+ * @file
+ * TaskJournal: append-only checkpoint journal for parallel campaigns.
+ *
+ * A campaign that can be killed mid-run (OOM killer, ^C, a cluster
+ * pre-emption) records each completed task's serialized result as one
+ * journal line. On restart, completed tasks are replayed from the
+ * journal instead of re-executed; because every task is independently
+ * seeded via hashCombine(seed, index) and results are merged in index
+ * order, a resumed campaign is bit-identical to an uninterrupted one
+ * for any --jobs value.
+ *
+ * Format: plain text, one record per line —
+ *
+ *   rho-journal v1 <kind> <key-hex>        (header)
+ *   task <index> <payload>                 (one per completed task)
+ *
+ * The key fingerprints the campaign parameters; opening a journal
+ * whose key differs from the current campaign discards it (the file
+ * is truncated and restarted). A record line is only trusted if
+ * complete — a torn final line from a kill mid-write is ignored, as
+ * is everything a parser cannot read. Doubles are serialized as
+ * bit-exact hex so replayed results round-trip exactly.
+ */
+
+#ifndef RHO_COMMON_CHECKPOINT_HH
+#define RHO_COMMON_CHECKPOINT_HH
+
+#include <bit>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace rho
+{
+
+/** Serialize a double bit-exactly (hex of its IEEE-754 image). */
+std::string encodeDouble(double x);
+
+/** Inverse of encodeDouble; nullopt on malformed input. */
+std::optional<double> decodeDouble(const std::string &s);
+
+/** Append-only, crash-tolerant per-task result journal. */
+class TaskJournal
+{
+  public:
+    /**
+     * Open (or create) the journal at `path` for a campaign
+     * fingerprinted by `key`. An existing file with a matching header
+     * has its complete task records loaded for replay; a mismatched
+     * or unparsable file is discarded and rewritten. `kind` names the
+     * campaign type ("sweep", "fuzz") purely for human inspection.
+     */
+    TaskJournal(const std::string &path, std::uint64_t key,
+                const std::string &kind);
+
+    /** Payload of a previously completed task, if journaled. */
+    std::optional<std::string> lookup(unsigned index) const;
+
+    /** Number of restorable task records loaded at open. */
+    std::size_t restoredCount() const { return restored.size(); }
+
+    /**
+     * Record a completed task. Thread-safe; the line is flushed to
+     * the file before returning so a later kill cannot lose it.
+     * Payloads must not contain newlines.
+     */
+    void record(unsigned index, const std::string &payload);
+
+    const std::string &path() const { return filePath; }
+
+  private:
+    std::string filePath;
+    std::unordered_map<unsigned, std::string> restored;
+    std::mutex mtx;
+};
+
+} // namespace rho
+
+#endif // RHO_COMMON_CHECKPOINT_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Structured failure codes for the attack pipeline.
+ *
+ * Every result struct that reports `success = false` also carries a
+ * FailureCode so tooling (chaos harness, campaign drivers, CI) can
+ * branch on machine-readable outcomes instead of grepping the
+ * human-readable `failureReason` strings. The strings remain for
+ * humans; the codes are the stable contract.
+ */
+
+#ifndef RHO_COMMON_FAILURE_HH
+#define RHO_COMMON_FAILURE_HH
+
+#include <cstdint>
+
+namespace rho
+{
+
+/** Machine-readable failure taxonomy for RE / exploit results. */
+enum class FailureCode : std::uint8_t
+{
+    None = 0,               //!< success (or failure not yet classified)
+
+    // Reverse engineering (Alg. 1 + baselines).
+    NoRowFunctions,         //!< no row-inclusive bank functions found
+    NoPureRowBits,          //!< pure row bits undetectable
+    FunctionSearchIncomplete, //!< baseline could not explain all sets
+    SuperpageRangeExceeded, //!< functions above superpage-resolvable bits
+    IncompleteStructure,    //!< row/column structure not recovered
+    MeasurementUnstable,    //!< timings never stabilized within budget
+
+    // Exploit pipeline (template -> massage -> hammer -> PTE).
+    AllocationFailed,       //!< allocator returned no block
+    NoFlipsTemplated,       //!< templating produced zero flips
+    NoExploitableFlips,     //!< flips exist but none hit PFN bits
+    MassageFailed,          //!< could not steer a PT page to the victim
+    FlipNotReproduced,      //!< templated flip failed to re-trigger
+    RetryBudgetExhausted,   //!< all configured retries consumed
+};
+
+/** Stable identifier string (used in logs and machine output). */
+constexpr const char *
+failureCodeName(FailureCode c)
+{
+    switch (c) {
+    case FailureCode::None: return "none";
+    case FailureCode::NoRowFunctions: return "no-row-functions";
+    case FailureCode::NoPureRowBits: return "no-pure-row-bits";
+    case FailureCode::FunctionSearchIncomplete:
+        return "function-search-incomplete";
+    case FailureCode::SuperpageRangeExceeded:
+        return "superpage-range-exceeded";
+    case FailureCode::IncompleteStructure: return "incomplete-structure";
+    case FailureCode::MeasurementUnstable: return "measurement-unstable";
+    case FailureCode::AllocationFailed: return "allocation-failed";
+    case FailureCode::NoFlipsTemplated: return "no-flips-templated";
+    case FailureCode::NoExploitableFlips: return "no-exploitable-flips";
+    case FailureCode::MassageFailed: return "massage-failed";
+    case FailureCode::FlipNotReproduced: return "flip-not-reproduced";
+    case FailureCode::RetryBudgetExhausted:
+        return "retry-budget-exhausted";
+    }
+    return "unknown";
+}
+
+} // namespace rho
+
+#endif // RHO_COMMON_FAILURE_HH

@@ -70,14 +70,17 @@ Histogram::fractionAbove(double x) const
 }
 
 double
-Histogram::separatingThreshold(double min_upper_frac) const
+Histogram::separatingThreshold(double min_upper_frac,
+                               double near_empty_frac) const
 {
-    // Scan for the longest run of empty bins that still leaves at
-    // least min_upper_frac of the samples above it. Latency
+    // Scan for the longest run of (near-)empty bins that still leaves
+    // at least min_upper_frac of the samples above it. Latency
     // distributions from the row-conflict side channel are strongly
     // bimodal, so this simple rule is robust.
     std::uint64_t needed_above =
         static_cast<std::uint64_t>(min_upper_frac * total);
+    std::uint64_t near_limit =
+        static_cast<std::uint64_t>(near_empty_frac * total);
 
     long best_start = -1, best_len = 0;
     long cur_start = -1, cur_len = 0;
@@ -87,7 +90,7 @@ Histogram::separatingThreshold(double min_upper_frac) const
         suffix[i] = suffix[i + 1] + bins[i];
 
     for (long i = 0; i < static_cast<long>(bins.size()); ++i) {
-        if (bins[i] == 0) {
+        if (bins[i] <= near_limit) {
             if (cur_start < 0)
                 cur_start = i;
             ++cur_len;
@@ -129,14 +132,60 @@ percentile(std::vector<double> samples, double p)
     return samples[i0] * (1 - frac) + samples[i1] * frac;
 }
 
+double
+median(std::vector<double> samples)
+{
+    return percentile(std::move(samples), 50.0);
+}
+
+double
+medianAbsDeviation(const std::vector<double> &samples, double center)
+{
+    std::vector<double> dev;
+    dev.reserve(samples.size());
+    for (double x : samples)
+        dev.push_back(std::abs(x - center));
+    return median(std::move(dev));
+}
+
+std::vector<double>
+madFilter(const std::vector<double> &samples, double k, double mad_floor)
+{
+    if (samples.size() < 3)
+        return samples;
+    double med = median(samples);
+    double mad = std::max(medianAbsDeviation(samples, med), mad_floor);
+    std::vector<double> inliers;
+    inliers.reserve(samples.size());
+    for (double x : samples) {
+        if (std::abs(x - med) <= k * mad)
+            inliers.push_back(x);
+    }
+    return inliers;
+}
+
+std::string
+RetryStats::summary() const
+{
+    return strFormat(
+        "attempts=%llu retries=%llu backoffs=%llu backoff=%.2f ms",
+        (unsigned long long)attempts, (unsigned long long)retries,
+        (unsigned long long)backoffs, backoffNs / 1e6);
+}
+
 std::string
 ParallelStats::summary() const
 {
-    return strFormat(
+    std::string s = strFormat(
         "jobs=%u tasks=%llu steals=%llu wall=%.0f ms sim=%.0f ms "
         "(avg task %.1f ms)",
         jobs, (unsigned long long)tasksRun, (unsigned long long)steals,
         wallNs / 1e6, simNs / 1e6, taskWallMs.mean());
+    if (tasksRestored > 0) {
+        s += strFormat(" restored=%llu",
+                       (unsigned long long)tasksRestored);
+    }
+    return s;
 }
 
 } // namespace rho

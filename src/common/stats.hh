@@ -64,8 +64,13 @@ class Histogram
      * @param min_upper_frac minimum fraction of samples expected in the
      *        upper (slow) mode; the search only considers thresholds
      *        leaving at least this fraction above.
+     * @param near_empty_frac bins holding at most this fraction of all
+     *        samples still count as part of a gap. Zero (the default)
+     *        requires strictly empty bins; a small tolerance keeps the
+     *        gap findable when interference sprinkles samples into it.
      */
-    double separatingThreshold(double min_upper_frac = 0.005) const;
+    double separatingThreshold(double min_upper_frac = 0.005,
+                               double near_empty_frac = 0.0) const;
 
   private:
     double lo, hi, width;
@@ -76,6 +81,66 @@ class Histogram
 /** Percentile of a (copied, sorted) sample vector; p in [0, 100]. */
 double percentile(std::vector<double> samples, double p);
 
+/** Median of a (copied, sorted) sample vector; 0 when empty. */
+double median(std::vector<double> samples);
+
+/** Median absolute deviation around a given center. */
+double medianAbsDeviation(const std::vector<double> &samples,
+                          double center);
+
+/**
+ * MAD-based outlier rejection: keep samples within k * max(MAD,
+ * mad_floor) of the median. The floor prevents a degenerate zero-MAD
+ * (many identical samples) from rejecting everything else. Returns the
+ * inliers in input order; never empties a non-empty input (the median
+ * sample always survives).
+ */
+std::vector<double> madFilter(const std::vector<double> &samples,
+                              double k, double mad_floor);
+
+/**
+ * Retry / backoff accounting for one resilient phase (robust timing,
+ * templating, re-hammering, ...). Aggregates like ParallelStats:
+ * surfaced by benches so robustness overhead is visible.
+ */
+struct RetryStats
+{
+    std::uint64_t attempts = 0;   //!< total attempts, first tries included
+    std::uint64_t retries = 0;    //!< attempts beyond the first
+    std::uint64_t backoffs = 0;   //!< backoff sleeps taken
+    double backoffNs = 0.0;       //!< total simulated backoff time
+
+    void
+    recordAttempt()
+    {
+        ++attempts;
+    }
+
+    void
+    recordRetry(double backoff_ns)
+    {
+        ++attempts;
+        ++retries;
+        if (backoff_ns > 0.0) {
+            ++backoffs;
+            backoffNs += backoff_ns;
+        }
+    }
+
+    RetryStats &
+    operator+=(const RetryStats &o)
+    {
+        attempts += o.attempts;
+        retries += o.retries;
+        backoffs += o.backoffs;
+        backoffNs += o.backoffNs;
+        return *this;
+    }
+
+    /** One-line "attempts=... retries=..." summary for bench output. */
+    std::string summary() const;
+};
+
 /**
  * Execution counters of one parallel campaign (sweep / fuzz fan-out):
  * how the work was scheduled and how wall-clock time relates to the
@@ -85,6 +150,7 @@ struct ParallelStats
 {
     unsigned jobs = 1;            //!< worker threads used
     std::uint64_t tasksRun = 0;   //!< tasks executed
+    std::uint64_t tasksRestored = 0; //!< tasks restored from a checkpoint
     std::uint64_t steals = 0;     //!< tasks migrated between workers
     double wallNs = 0.0;          //!< host wall-clock for the fan-out
     double simNs = 0.0;           //!< simulated ns covered (caller-set)

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "fault/fault_injector.hh"
 
 namespace rho
 {
@@ -89,6 +90,15 @@ Dimm::disturbNeighbour(std::uint32_t bank, std::uint64_t victim,
     for (std::size_t i = 0; i < rs.cells.size(); ++i) {
         if (rs.flipped[i] || rs.disturb < rs.cells[i].threshold)
             continue;
+        // Injected non-reproduction (Kim et al.: flip reproducibility
+        // is itself probabilistic): the cell spontaneously retains its
+        // charge and the row's accumulated disturbance is restored, so
+        // the hammer must re-accumulate from zero. A retried run can
+        // still produce the flip; a budget-exhausted run cannot.
+        if (injector && injector->suppressFlip()) {
+            rs.disturb = 0.0;
+            return;
+        }
         // Threshold crossed: the cell loses its charged state. The
         // flip only manifests if the stored bit is in the vulnerable
         // orientation (true cell storing 1, anti cell storing 0).
@@ -153,6 +163,11 @@ Dimm::doAct(std::uint32_t bank, std::uint64_t row, Ns now)
     // trigger RFM commands that protect recently activated rows.
     for (const TrrTarget &t : rfm.observeAct(bank, row))
         refreshNeighbours(t.bank, t.row, now);
+
+    // Injected spurious TRR: the controller refreshes this row's
+    // neighbourhood even though no sampler selected it.
+    if (injector && injector->spuriousRefresh())
+        refreshNeighbours(bank, row, now);
 
     // Activating a row restores the charge of its own cells.
     RowState &self = rowState(bank, row, now);

@@ -30,6 +30,8 @@
 namespace rho
 {
 
+class FaultInjector;
+
 /** A committed bit flip, for statistics and test introspection. */
 struct FlipRecord
 {
@@ -98,6 +100,14 @@ class Dimm
     /** Drop all per-row state (fresh device). */
     void reset();
 
+    /**
+     * Attach a fault injector (nullptr detaches). Enables probabilistic
+     * flip non-reproduction at threshold crossings and spurious
+     * TRR-style neighbour refreshes per ACT. The injector must outlive
+     * the DIMM or be detached first.
+     */
+    void setFaultInjector(FaultInjector *inj) { injector = inj; }
+
   private:
     struct RowState
     {
@@ -143,6 +153,7 @@ class Dimm
     std::uint64_t acts = 0;
     Ns nextTrrTick = 0.0;
     double halfDoubleWeight = 0.08;
+    FaultInjector *injector = nullptr;
 };
 
 } // namespace rho

@@ -1,0 +1,80 @@
+#include "fault/fault_injector.hh"
+
+#include "common/table.hh"
+
+namespace rho
+{
+
+std::string
+FaultStats::summary() const
+{
+    return strFormat(
+        "faults: timing=%llu flips-suppressed=%llu spurious-refresh=%llu "
+        "alloc-fail=%llu frag-spike=%llu",
+        (unsigned long long)timingPerturbations,
+        (unsigned long long)flipsSuppressed,
+        (unsigned long long)spuriousRefreshes,
+        (unsigned long long)allocFailures,
+        (unsigned long long)fragmentSpikes);
+}
+
+FaultInjector::FaultInjector(FaultSchedule schedule, std::uint64_t seed)
+    : sched(std::move(schedule)), timingRng(hashCombine(seed, 1)),
+      flipRng(hashCombine(seed, 2)), refreshRng(hashCombine(seed, 3)),
+      allocRng(hashCombine(seed, 4)), fragmentRng(hashCombine(seed, 5))
+{
+}
+
+Ns
+FaultInjector::timingPerturbation()
+{
+    FaultLevels l = levelsNow();
+    if (l.timingNoiseSigmaNs <= 0.0 && l.timingDriftNs == 0.0)
+        return 0.0;
+    ++st.timingPerturbations;
+    Ns jitter = l.timingNoiseSigmaNs > 0.0
+                    ? timingRng.normal(0.0, l.timingNoiseSigmaNs)
+                    : 0.0;
+    return l.timingDriftNs + jitter;
+}
+
+bool
+FaultInjector::suppressFlip()
+{
+    double p = levelsNow().flipSuppressProb;
+    // Rng::chance(p <= 0) returns false without consuming a draw, so
+    // an inactive channel leaves the stream untouched.
+    bool hit = flipRng.chance(p);
+    if (hit)
+        ++st.flipsSuppressed;
+    return hit;
+}
+
+bool
+FaultInjector::spuriousRefresh()
+{
+    bool hit = refreshRng.chance(levelsNow().spuriousRefreshProb);
+    if (hit)
+        ++st.spuriousRefreshes;
+    return hit;
+}
+
+bool
+FaultInjector::allocFails()
+{
+    bool hit = allocRng.chance(levelsNow().allocFailProb);
+    if (hit)
+        ++st.allocFailures;
+    return hit;
+}
+
+bool
+FaultInjector::fragmentSpike()
+{
+    bool hit = fragmentRng.chance(levelsNow().fragmentSpikeProb);
+    if (hit)
+        ++st.fragmentSpikes;
+    return hit;
+}
+
+} // namespace rho

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * FaultInjector: deterministic, seeded execution of a FaultSchedule.
+ *
+ * The injector is bound to the simulation clock and queried by the
+ * components it perturbs (TimingProbe, Dimm, BuddyAllocator). Each
+ * fault channel draws from its own Rng stream, seeded from
+ * hashCombine(seed, channel), so enabling one channel never shifts
+ * another channel's draw sequence — schedules compose without
+ * perturbing each other's determinism.
+ *
+ * A channel only consumes a draw while its level is non-zero, so a
+ * schedule with a channel entirely off is bit-identical to one where
+ * that channel was never mentioned.
+ */
+
+#ifndef RHO_FAULT_FAULT_INJECTOR_HH
+#define RHO_FAULT_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "fault/fault_schedule.hh"
+
+namespace rho
+{
+
+/** Counters of every fault the injector actually delivered. */
+struct FaultStats
+{
+    std::uint64_t timingPerturbations = 0;
+    std::uint64_t flipsSuppressed = 0;
+    std::uint64_t spuriousRefreshes = 0;
+    std::uint64_t allocFailures = 0;
+    std::uint64_t fragmentSpikes = 0;
+
+    std::uint64_t
+    total() const
+    {
+        return timingPerturbations + flipsSuppressed + spuriousRefreshes +
+               allocFailures + fragmentSpikes;
+    }
+
+    /** One-line human-readable summary for bench/chaos output. */
+    std::string summary() const;
+};
+
+/** Executes a FaultSchedule against the simulation clock. */
+class FaultInjector
+{
+  public:
+    FaultInjector(FaultSchedule schedule, std::uint64_t seed);
+
+    /**
+     * Bind to a simulation clock. The pointee must outlive the
+     * injector (MemorySystem::attachFaultInjector does this).
+     * Unbound, the injector evaluates the schedule at t = 0.
+     */
+    void bindClock(const Ns *clock_ptr) { clock = clock_ptr; }
+
+    Ns now() const { return clock ? *clock : 0.0; }
+
+    const FaultSchedule &schedule() const { return sched; }
+    FaultLevels levelsNow() const { return sched.levelsAt(now()); }
+
+    // ---- Fault queries (each draws from its own stream) --------------
+
+    /** Additive timing perturbation (ns) for one measurement. */
+    Ns timingPerturbation();
+
+    /** True if a threshold-crossing weak cell holds its charge. */
+    bool suppressFlip();
+
+    /** True if this ACT triggers a spurious neighbour refresh. */
+    bool spuriousRefresh();
+
+    /** True if this buddy allocation should fail. */
+    bool allocFails();
+
+    /** True if a fragmentation spike should hit the allocator now. */
+    bool fragmentSpike();
+
+    const FaultStats &stats() const { return st; }
+    void clearStats() { st = FaultStats{}; }
+
+  private:
+    FaultSchedule sched;
+    const Ns *clock = nullptr;
+    Rng timingRng;
+    Rng flipRng;
+    Rng refreshRng;
+    Rng allocRng;
+    Rng fragmentRng;
+    FaultStats st;
+};
+
+} // namespace rho
+
+#endif // RHO_FAULT_FAULT_INJECTOR_HH

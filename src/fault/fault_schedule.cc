@@ -1,0 +1,179 @@
+#include "fault/fault_schedule.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/table.hh"
+
+namespace rho
+{
+
+bool
+FaultLevels::any() const
+{
+    return timingNoiseSigmaNs > 0.0 || timingDriftNs != 0.0 ||
+           flipSuppressProb > 0.0 || spuriousRefreshProb > 0.0 ||
+           allocFailProb > 0.0 || fragmentSpikeProb > 0.0;
+}
+
+namespace
+{
+
+double
+saturatingProb(double a, double b)
+{
+    return std::clamp(a + b, 0.0, 1.0);
+}
+
+} // namespace
+
+FaultLevels &
+FaultLevels::operator+=(const FaultLevels &o)
+{
+    timingNoiseSigmaNs += o.timingNoiseSigmaNs;
+    timingDriftNs += o.timingDriftNs;
+    flipSuppressProb = saturatingProb(flipSuppressProb, o.flipSuppressProb);
+    spuriousRefreshProb =
+        saturatingProb(spuriousRefreshProb, o.spuriousRefreshProb);
+    allocFailProb = saturatingProb(allocFailProb, o.allocFailProb);
+    fragmentSpikeProb =
+        saturatingProb(fragmentSpikeProb, o.fragmentSpikeProb);
+    return *this;
+}
+
+FaultLevels
+FaultLevels::scaled(double k) const
+{
+    FaultLevels out;
+    out.timingNoiseSigmaNs = timingNoiseSigmaNs * k;
+    out.timingDriftNs = timingDriftNs * k;
+    out.flipSuppressProb = std::clamp(flipSuppressProb * k, 0.0, 1.0);
+    out.spuriousRefreshProb =
+        std::clamp(spuriousRefreshProb * k, 0.0, 1.0);
+    out.allocFailProb = std::clamp(allocFailProb * k, 0.0, 1.0);
+    out.fragmentSpikeProb = std::clamp(fragmentSpikeProb * k, 0.0, 1.0);
+    return out;
+}
+
+bool
+FaultPhase::activeAt(Ns t) const
+{
+    if (t < startNs || t >= endNs)
+        return false;
+    if (repeatPeriodNs <= 0.0)
+        return true;
+    Ns offset = std::fmod(t - startNs, repeatPeriodNs);
+    return offset < burstLenNs;
+}
+
+FaultSchedule &
+FaultSchedule::add(const FaultPhase &p)
+{
+    phases.push_back(p);
+    return *this;
+}
+
+FaultSchedule &
+FaultSchedule::merge(const FaultSchedule &o)
+{
+    phases.insert(phases.end(), o.phases.begin(), o.phases.end());
+    return *this;
+}
+
+FaultLevels
+FaultSchedule::levelsAt(Ns t) const
+{
+    FaultLevels out;
+    for (const FaultPhase &p : phases) {
+        if (p.activeAt(t))
+            out += p.levels;
+    }
+    return out;
+}
+
+FaultSchedule
+FaultSchedule::scaled(double k) const
+{
+    FaultSchedule out;
+    for (const FaultPhase &p : phases) {
+        FaultPhase q = p;
+        q.levels = p.levels.scaled(k);
+        out.add(q);
+    }
+    return out;
+}
+
+std::string
+FaultSchedule::describe() const
+{
+    if (phases.empty())
+        return "fault schedule: none";
+    return strFormat("fault schedule: %zu phase%s", phases.size(),
+                     phases.size() == 1 ? "" : "s");
+}
+
+FaultSchedule
+FaultSchedule::none()
+{
+    return FaultSchedule();
+}
+
+FaultSchedule
+FaultSchedule::constant(const FaultLevels &levels)
+{
+    FaultPhase p;
+    p.levels = levels;
+    return FaultSchedule().add(p);
+}
+
+FaultSchedule
+FaultSchedule::timingBursts(Ns period, Ns burst, Ns sigma, Ns drift)
+{
+    FaultPhase p;
+    p.repeatPeriodNs = period;
+    p.burstLenNs = burst;
+    p.levels.timingNoiseSigmaNs = sigma;
+    p.levels.timingDriftNs = drift;
+    return FaultSchedule().add(p);
+}
+
+FaultSchedule
+FaultSchedule::flipNonReproduction(double prob)
+{
+    FaultLevels l;
+    l.flipSuppressProb = prob;
+    return constant(l);
+}
+
+FaultSchedule
+FaultSchedule::allocPressure(double fail_prob, double fragment_prob)
+{
+    FaultLevels l;
+    l.allocFailProb = fail_prob;
+    l.fragmentSpikeProb = fragment_prob;
+    return constant(l);
+}
+
+FaultSchedule
+FaultSchedule::spuriousTrr(double prob_per_act, Ns start, Ns end)
+{
+    FaultPhase p;
+    p.startNs = start;
+    p.endNs = end;
+    p.levels.spuriousRefreshProb = prob_per_act;
+    return FaultSchedule().add(p);
+}
+
+FaultSchedule
+FaultSchedule::chaosDefault()
+{
+    // Timing bursts: a co-running workload wakes up every 50 ms of
+    // simulated time and interferes for 8 ms (16% duty cycle), adding
+    // 12 ns of jitter and a 3 ns baseline drift — enough to defeat a
+    // naive mean but recoverable with MAD filtering.
+    return FaultSchedule::timingBursts(50e6, 8e6, 12.0, 3.0)
+        .merge(FaultSchedule::flipNonReproduction(0.10))
+        .merge(FaultSchedule::allocPressure(0.02, 0.005));
+}
+
+} // namespace rho

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Composable fault schedules: *what* environmental perturbation is
+ * active *when*, in simulated time.
+ *
+ * A FaultSchedule is a set of phases; each phase contributes a set of
+ * fault intensities (FaultLevels) over a simulated-time window, either
+ * once or as a repeating burst train (modelling co-running workloads
+ * that come and go). Schedules compose by merging phases, so a chaos
+ * experiment is built from small named ingredients:
+ *
+ *   FaultSchedule s = FaultSchedule::timingBursts(50e6, 8e6, 12.0, 3.0)
+ *                         .merge(FaultSchedule::flipNonReproduction(0.10))
+ *                         .merge(FaultSchedule::allocPressure(0.02, 0.005));
+ *
+ * Everything is pure data — the FaultInjector owns the randomness.
+ */
+
+#ifndef RHO_FAULT_FAULT_SCHEDULE_HH
+#define RHO_FAULT_FAULT_SCHEDULE_HH
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace rho
+{
+
+/** Fault intensities active at one instant. Zero means "off". */
+struct FaultLevels
+{
+    Ns timingNoiseSigmaNs = 0.0;    //!< extra gaussian timing jitter
+    Ns timingDriftNs = 0.0;         //!< baseline shift of measurements
+    double flipSuppressProb = 0.0;  //!< P(weak cell holds its charge)
+    double spuriousRefreshProb = 0.0; //!< P(extra TRR-style refresh)/ACT
+    double allocFailProb = 0.0;     //!< P(buddy allocation fails)
+    double fragmentSpikeProb = 0.0; //!< P(fragmentation spike)/alloc
+
+    /** True if any channel is non-zero. */
+    bool any() const;
+
+    /** Accumulate another phase's contribution (probs saturate at 1). */
+    FaultLevels &operator+=(const FaultLevels &o);
+
+    /** Multiply every intensity by k (probs clamp to [0, 1]). */
+    FaultLevels scaled(double k) const;
+};
+
+/**
+ * One schedule entry: levels active over [startNs, endNs), optionally
+ * as a repeating burst train — active for the first burstLenNs of
+ * every repeatPeriodNs within the window.
+ */
+struct FaultPhase
+{
+    Ns startNs = 0.0;
+    Ns endNs = std::numeric_limits<double>::infinity();
+    Ns repeatPeriodNs = 0.0; //!< 0 = continuously active in the window
+    Ns burstLenNs = 0.0;     //!< burst duration when repeating
+    FaultLevels levels;
+
+    bool activeAt(Ns t) const;
+};
+
+/** A composable set of fault phases. */
+class FaultSchedule
+{
+  public:
+    FaultSchedule() = default;
+
+    FaultSchedule &add(const FaultPhase &p);
+    FaultSchedule &merge(const FaultSchedule &o);
+
+    /** Sum of all phases active at simulated time t. */
+    FaultLevels levelsAt(Ns t) const;
+
+    bool empty() const { return phases.empty(); }
+    std::size_t numPhases() const { return phases.size(); }
+
+    /** Uniformly scale every phase's intensities (escalation knob). */
+    FaultSchedule scaled(double k) const;
+
+    /** One-line description for logs. */
+    std::string describe() const;
+
+    // ---- Named ingredients -------------------------------------------
+
+    /** The empty schedule (injector becomes a no-op). */
+    static FaultSchedule none();
+
+    /** Levels active for the whole run. */
+    static FaultSchedule constant(const FaultLevels &levels);
+
+    /**
+     * Repeating timing-noise bursts: every `period` ns a co-running
+     * workload occupies the machine for `burst` ns, adding gaussian
+     * jitter (`sigma`) and a baseline drift (`drift`) to measurements.
+     */
+    static FaultSchedule timingBursts(Ns period, Ns burst, Ns sigma,
+                                      Ns drift);
+
+    /** Constant probability that a crossed threshold does not flip. */
+    static FaultSchedule flipNonReproduction(double prob);
+
+    /** Constant allocator pressure: failures + fragmentation spikes. */
+    static FaultSchedule allocPressure(double fail_prob,
+                                       double fragment_prob);
+
+    /** Per-ACT spurious TRR-style neighbour refreshes in a window. */
+    static FaultSchedule spuriousTrr(double prob_per_act, Ns start = 0.0,
+                                     Ns end =
+                                         std::numeric_limits<double>::infinity());
+
+    /**
+     * The default chaos mix used by tests and the chaos lab: timing
+     * bursts + 10% flip non-reproduction + allocation failures (the
+     * ISSUE acceptance schedule).
+     */
+    static FaultSchedule chaosDefault();
+
+  private:
+    std::vector<FaultPhase> phases;
+};
+
+} // namespace rho
+
+#endif // RHO_FAULT_FAULT_SCHEDULE_HH

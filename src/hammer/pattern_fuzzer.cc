@@ -1,6 +1,12 @@
 #include "hammer/pattern_fuzzer.hh"
 
+#include <atomic>
+#include <memory>
+#include <sstream>
+
+#include "common/checkpoint.hh"
 #include "common/parallel.hh"
+#include "hammer/sweep.hh"
 
 namespace rho
 {
@@ -51,6 +57,33 @@ struct FuzzTaskResult
     Ns simTimeNs = 0.0;
 };
 
+/**
+ * Journal payload: the numeric outcome only. The pattern itself is a
+ * pure function of the task seed and is regenerated on replay.
+ */
+std::string
+serializeFuzzTask(const FuzzTaskResult &r)
+{
+    std::ostringstream out;
+    out << r.flips << " " << r.dramAccesses << " "
+        << encodeDouble(r.simTimeNs);
+    return out.str();
+}
+
+bool
+parseFuzzTask(const std::string &payload, FuzzTaskResult &r)
+{
+    std::istringstream in(payload);
+    std::string sim_hex;
+    if (!(in >> r.flips >> r.dramAccesses >> sim_hex))
+        return false;
+    auto sim = decodeDouble(sim_hex);
+    if (!sim)
+        return false;
+    r.simTimeNs = *sim;
+    return true;
+}
+
 } // namespace
 
 FuzzResult
@@ -58,12 +91,36 @@ fuzzCampaign(const SystemSpec &spec, const HammerConfig &cfg,
              const FuzzParams &params, std::uint64_t seed,
              ParallelStats *stats)
 {
+    std::shared_ptr<TaskJournal> journal;
+    if (!params.checkpointPath.empty()) {
+        std::uint64_t key = campaignKey(spec, cfg, seed);
+        key = hashCombine(key, params.numPatterns);
+        key = hashCombine(key, params.locationsPerPattern);
+        key = hashCombine(key, params.patternParams.minPairs);
+        key = hashCombine(key, params.patternParams.maxPairs);
+        key = hashCombine(key, params.patternParams.minPeriodLog2);
+        key = hashCombine(key, params.patternParams.maxPeriodLog2);
+        key = hashCombine(key, params.patternParams.maxFreqLog2);
+        key = hashCombine(key, params.patternParams.maxAmpLog2);
+        journal = std::make_shared<TaskJournal>(params.checkpointPath,
+                                                key, "fuzz");
+    }
+    std::atomic<std::uint64_t> restored{0};
+
     auto task = [&](unsigned i) -> FuzzTaskResult {
         std::uint64_t task_seed = hashCombine(seed, i);
         Rng pattern_rng(task_seed);
         FuzzTaskResult r;
         r.pattern = HammerPattern::randomNonUniform(pattern_rng,
                                                     params.patternParams);
+        if (journal) {
+            if (auto payload = journal->lookup(i)) {
+                if (parseFuzzTask(*payload, r)) {
+                    restored.fetch_add(1, std::memory_order_relaxed);
+                    return r;
+                }
+            }
+        }
         MemorySystem sys = spec.instantiate(task_seed);
         HammerSession session(sys, task_seed);
         Ns t0 = sys.now();
@@ -74,11 +131,15 @@ fuzzCampaign(const SystemSpec &spec, const HammerConfig &cfg,
             r.dramAccesses += out.perf.dramAccesses;
         }
         r.simTimeNs = sys.now() - t0;
+        if (journal)
+            journal->record(i, serializeFuzzTask(r));
         return r;
     };
 
     auto tasks = parallelMapOrdered(params.numPatterns, params.jobs,
                                     task, stats);
+    if (stats)
+        stats->tasksRestored = restored.load();
 
     // Merge in task-index order: the serial reduction semantics
     // (earliest strict maximum wins the best-pattern slot) hold for

@@ -19,6 +19,7 @@
 #define RHO_HAMMER_PATTERN_FUZZER_HH
 
 #include <optional>
+#include <string>
 
 #include "common/stats.hh"
 #include "hammer/hammer_session.hh"
@@ -33,6 +34,16 @@ struct FuzzParams
     unsigned locationsPerPattern = 3;
     unsigned jobs = 0; //!< fuzzCampaign() workers; 0 = hw concurrency
     PatternParams patternParams;
+
+    /**
+     * When non-empty, completed pattern trials are journaled here and
+     * a killed campaign resumes from its last completed task on the
+     * next run with the same parameters — merged output stays
+     * bit-identical to an uninterrupted run for any `jobs` value.
+     * Patterns are not stored: task i's pattern regenerates from
+     * Rng(hashCombine(seed, i)) exactly as the live path builds it.
+     */
+    std::string checkpointPath;
 };
 
 /** Campaign outcome (Table 6 reports totalFlips, bestPatternFlips). */

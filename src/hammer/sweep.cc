@@ -1,11 +1,35 @@
 #include "hammer/sweep.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
+#include <sstream>
 
+#include "common/checkpoint.hh"
 #include "common/parallel.hh"
 
 namespace rho
 {
+
+std::uint64_t
+campaignKey(const SystemSpec &spec, const HammerConfig &cfg,
+            std::uint64_t seed)
+{
+    std::uint64_t key = hashCombine(seed, 0x9a3fULL);
+    key = hashCombine(key, static_cast<std::uint64_t>(spec.arch));
+    for (char c : spec.dimm->id)
+        key = hashCombine(key, static_cast<std::uint64_t>(c));
+    key = hashCombine(key, static_cast<std::uint64_t>(cfg.instr));
+    key = hashCombine(key, static_cast<std::uint64_t>(cfg.mode));
+    key = hashCombine(key, cfg.numBanks);
+    key = hashCombine(key, cfg.obfuscate ? 1 : 0);
+    key = hashCombine(key, static_cast<std::uint64_t>(cfg.barrier));
+    key = hashCombine(key, cfg.nopCount);
+    key = hashCombine(key, cfg.accessBudget);
+    key = hashCombine(key, cfg.victimFill);
+    key = hashCombine(key, cfg.aggrFill);
+    return key;
+}
 
 HammerLocation
 sweepLocationAt(const DimmGeometry &geom, const HammerPattern &pattern,
@@ -56,6 +80,50 @@ struct SweepTaskResult
     std::vector<FlipRecord> flipList;
 };
 
+/** One journal line: flips, sim time, then 5 fields per flip record. */
+std::string
+serializeSweepTask(const SweepTaskResult &r)
+{
+    std::ostringstream out;
+    out << r.flips << " " << encodeDouble(r.simTimeNs) << " "
+        << r.flipList.size();
+    for (const FlipRecord &f : r.flipList) {
+        out << " " << f.bank << " " << f.row << " " << f.bitOffset << " "
+            << (f.toOne ? 1 : 0) << " " << encodeDouble(f.when);
+    }
+    return out.str();
+}
+
+std::optional<SweepTaskResult>
+parseSweepTask(const std::string &payload)
+{
+    std::istringstream in(payload);
+    SweepTaskResult r;
+    std::string sim_hex;
+    std::size_t n = 0;
+    if (!(in >> r.flips >> sim_hex >> n))
+        return std::nullopt;
+    auto sim = decodeDouble(sim_hex);
+    if (!sim)
+        return std::nullopt;
+    r.simTimeNs = *sim;
+    r.flipList.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        FlipRecord f{};
+        int to_one = 0;
+        std::string when_hex;
+        if (!(in >> f.bank >> f.row >> f.bitOffset >> to_one >> when_hex))
+            return std::nullopt;
+        auto when = decodeDouble(when_hex);
+        if (!when)
+            return std::nullopt;
+        f.toOne = to_one != 0;
+        f.when = *when;
+        r.flipList.push_back(f);
+    }
+    return r;
+}
+
 } // namespace
 
 SweepResult
@@ -65,7 +133,25 @@ sweepCampaign(const SystemSpec &spec, const HammerPattern &pattern,
 {
     const DimmGeometry &geom = spec.dimm->geom;
 
+    std::shared_ptr<TaskJournal> journal;
+    if (!params.checkpointPath.empty()) {
+        std::uint64_t key = campaignKey(spec, cfg, seed);
+        key = hashCombine(key, params.numLocations);
+        key = hashCombine(key, pattern.id());
+        journal = std::make_shared<TaskJournal>(params.checkpointPath,
+                                                key, "sweep");
+    }
+    std::atomic<std::uint64_t> restored{0};
+
     auto task = [&](unsigned i) -> SweepTaskResult {
+        if (journal) {
+            if (auto payload = journal->lookup(i)) {
+                if (auto r = parseSweepTask(*payload)) {
+                    restored.fetch_add(1, std::memory_order_relaxed);
+                    return std::move(*r);
+                }
+            }
+        }
         std::uint64_t task_seed = hashCombine(seed, i);
         MemorySystem sys = spec.instantiate(task_seed);
         HammerSession session(sys, task_seed);
@@ -77,11 +163,15 @@ sweepCampaign(const SystemSpec &spec, const HammerPattern &pattern,
         r.flips = out.flips;
         r.simTimeNs = sys.now() - t0;
         r.flipList = std::move(out.flipList);
+        if (journal)
+            journal->record(i, serializeSweepTask(r));
         return r;
     };
 
     auto tasks = parallelMapOrdered(params.numLocations, params.jobs,
                                     task, stats);
+    if (stats)
+        stats->tasksRestored = restored.load();
 
     // Merge in task-index order: identical output for any job count.
     SweepResult res;

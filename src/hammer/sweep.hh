@@ -18,6 +18,7 @@
 #ifndef RHO_HAMMER_SWEEP_HH
 #define RHO_HAMMER_SWEEP_HH
 
+#include <string>
 #include <vector>
 
 #include "common/stats.hh"
@@ -31,6 +32,15 @@ struct SweepParams
 {
     unsigned numLocations = 16;
     unsigned jobs = 0; //!< worker threads; 0 = hardware_concurrency
+
+    /**
+     * When non-empty, completed tasks are journaled here and a killed
+     * campaign resumes from its last completed task on the next run
+     * with the same parameters — merged output stays bit-identical to
+     * an uninterrupted run for any `jobs` value. A journal written
+     * under different campaign parameters is detected and discarded.
+     */
+    std::string checkpointPath;
 };
 
 /** Per-location and cumulative sweep results. */
@@ -84,6 +94,15 @@ SweepResult sweepCampaign(const SystemSpec &spec,
                           const HammerConfig &cfg,
                           const SweepParams &params, std::uint64_t seed,
                           ParallelStats *stats = nullptr);
+
+/**
+ * Fingerprint of everything that determines a campaign task's result:
+ * platform, DIMM, attack configuration and campaign seed. Checkpoint
+ * journals are keyed on this (plus campaign-specific fields) so a
+ * stale journal can never be replayed into a different campaign.
+ */
+std::uint64_t campaignKey(const SystemSpec &spec, const HammerConfig &cfg,
+                          std::uint64_t seed);
 
 } // namespace rho
 

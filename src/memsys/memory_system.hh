@@ -13,6 +13,7 @@
 #include "cpu/arch_params.hh"
 #include "cpu/sim_cpu.hh"
 #include "dram/controller.hh"
+#include "fault/fault_injector.hh"
 #include "mapping/mapping_presets.hh"
 
 namespace rho
@@ -66,6 +67,25 @@ class MemorySystem : public MemoryBackend
     Dimm &dimm() { return mc->dimm(); }
     const Dimm &dimm() const { return mc->dimm(); }
 
+    /**
+     * Attach a fault injector to this machine: binds it to the global
+     * clock and enables its DRAM-side channels (flip suppression,
+     * spurious refresh). TimingProbe and BuddyAllocator consult it via
+     * faultInjector(). Pass nullptr to detach. The injector must
+     * outlive the system or be detached before destruction.
+     */
+    void
+    attachFaultInjector(FaultInjector *inj)
+    {
+        injector = inj;
+        if (inj)
+            inj->bindClock(&clock);
+        mc->dimm().setFaultInjector(inj);
+    }
+
+    /** Attached injector, or nullptr when running fault-free. */
+    FaultInjector *faultInjector() const { return injector; }
+
     /** Functional data path at the current clock. */
     std::uint8_t readByte(PhysAddr pa) { return mc->readByte(pa, clock); }
     void
@@ -78,6 +98,7 @@ class MemorySystem : public MemoryBackend
     Arch archId;
     const ArchParams *params;
     std::unique_ptr<MemoryController> mc;
+    FaultInjector *injector = nullptr;
     Ns clock = 0.0;
 };
 

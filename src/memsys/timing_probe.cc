@@ -1,5 +1,9 @@
 #include "memsys/timing_probe.hh"
 
+#include <algorithm>
+
+#include "fault/fault_injector.hh"
+
 namespace rho
 {
 
@@ -27,7 +31,46 @@ TimingProbe::measurePair(PhysAddr a, PhysAddr b, unsigned rounds)
     }
     accesses += n;
     double avg = total / static_cast<double>(n);
-    return avg + rng.normal(0.0, noiseSigma);
+    double sample = avg + rng.normal(0.0, noiseSigma);
+    // Environmental interference (co-running workloads) on top of the
+    // intrinsic rdtscp jitter, when a fault injector is attached.
+    if (FaultInjector *inj = sys.faultInjector())
+        sample += inj->timingPerturbation();
+    return sample;
+}
+
+double
+TimingProbe::measurePairRobust(PhysAddr a, PhysAddr b, unsigned rounds,
+                               const RobustTimingConfig &cfg,
+                               RetryStats *retry)
+{
+    unsigned base = std::max(1u, cfg.baseSamples);
+    unsigned sub_rounds = std::max(1u, rounds / base);
+
+    std::vector<double> samples;
+    samples.reserve(base + cfg.maxExtraRounds);
+    for (unsigned s = 0; s < base; ++s)
+        samples.push_back(measurePair(a, b, sub_rounds));
+    if (retry)
+        retry->recordAttempt();
+
+    Ns backoff = cfg.backoffNs;
+    for (unsigned extra = 0; extra < cfg.maxExtraRounds; ++extra) {
+        double med = median(samples);
+        if (medianAbsDeviation(samples, med) <= cfg.madGateNs)
+            break;
+        // Unstable: wait out the interference in simulated time, then
+        // take one more independent sub-measurement.
+        sys.advance(backoff);
+        if (retry)
+            retry->recordRetry(backoff);
+        backoff = std::min(backoff * cfg.backoffFactor, cfg.maxBackoffNs);
+        samples.push_back(measurePair(a, b, sub_rounds));
+    }
+
+    // The median of the (possibly grown) sample set rejects burst
+    // outliers that a mean would absorb.
+    return median(samples);
 }
 
 } // namespace rho

@@ -13,10 +13,26 @@
 #define RHO_MEMSYS_TIMING_PROBE_HH
 
 #include "common/rng.hh"
+#include "common/stats.hh"
 #include "memsys/memory_system.hh"
 
 namespace rho
 {
+
+/**
+ * Tuning for measurePairRobust(): how many independent sub-samples to
+ * take, when their spread is considered unstable (MAD gate), and how
+ * to back off in simulated time before re-measuring.
+ */
+struct RobustTimingConfig
+{
+    unsigned baseSamples = 3;   //!< initial independent sub-measurements
+    unsigned maxExtraRounds = 4; //!< re-measurement rounds when unstable
+    double madGateNs = 3.0;     //!< spread above this triggers re-measure
+    Ns backoffNs = 20e3;        //!< first backoff (simulated ns)
+    double backoffFactor = 2.0; //!< exponential growth per round
+    Ns maxBackoffNs = 320e3;    //!< backoff ceiling
+};
 
 /** Measurement front end for the row-conflict side channel. */
 class TimingProbe
@@ -36,6 +52,19 @@ class TimingProbe
      * b, each address accessed `rounds` times, flushed in between.
      */
     double measurePair(PhysAddr a, PhysAddr b, unsigned rounds = 50);
+
+    /**
+     * Outlier-resilient pair measurement: splits `rounds` across
+     * several independent sub-measurements and returns their median.
+     * If the sub-measurements disagree (MAD above cfg.madGateNs — a
+     * co-running workload burst), waits out the interference with
+     * bounded exponential backoff in simulated time and re-measures,
+     * up to cfg.maxExtraRounds times. Retry accounting lands in
+     * `retry` when given.
+     */
+    double measurePairRobust(PhysAddr a, PhysAddr b, unsigned rounds = 50,
+                             const RobustTimingConfig &cfg = {},
+                             RetryStats *retry = nullptr);
 
     /** Total timed accesses so far (cost accounting for Table 5). */
     std::uint64_t accessCount() const { return accesses; }

@@ -2,6 +2,7 @@
 
 #include "common/bits.hh"
 #include "common/logging.hh"
+#include "fault/fault_injector.hh"
 
 namespace rho
 {
@@ -39,6 +40,13 @@ BuddyAllocator::alloc(unsigned order)
 {
     if (order > maxOrder)
         return std::nullopt;
+
+    if (injector) {
+        if (injector->fragmentSpike())
+            fragmentationSpike();
+        if (injector->allocFails())
+            return std::nullopt;
+    }
 
     unsigned from = order;
     while (from <= maxOrder && freeLists[from].empty())
@@ -90,6 +98,22 @@ std::size_t
 BuddyAllocator::freeBlocksAt(unsigned order) const
 {
     return freeLists[order].size();
+}
+
+void
+BuddyAllocator::fragmentationSpike(unsigned blocks)
+{
+    constexpr unsigned frag_order = 2;
+    for (unsigned b = 0; b < blocks && !freeLists[maxOrder].empty();
+         ++b) {
+        auto last = std::prev(freeLists[maxOrder].end());
+        std::uint64_t page = *last;
+        freeLists[maxOrder].erase(last);
+        std::uint64_t step = 1ULL << frag_order;
+        for (std::uint64_t p = page; p < page + (1ULL << maxOrder);
+             p += step)
+            freeLists[frag_order].insert(p);
+    }
 }
 
 std::vector<std::pair<PhysAddr, unsigned>>

@@ -25,6 +25,8 @@
 namespace rho
 {
 
+class FaultInjector;
+
 /** Physical frame allocator with per-order free lists. */
 class BuddyAllocator
 {
@@ -70,6 +72,25 @@ class BuddyAllocator
 
     std::uint64_t memBytes() const { return memSize; }
 
+    /**
+     * Attach a fault injector (nullptr detaches): alloc() may then
+     * fail spuriously (kernel under memory pressure) or be preceded by
+     * a fragmentation spike. The injector must outlive the allocator
+     * or be detached first.
+     */
+    void setFaultInjector(FaultInjector *inj) { injector = inj; }
+
+    /**
+     * Fragment up to `blocks` max-order free blocks into order-2
+     * pieces without coalescing, emulating a burst of kernel
+     * allocation churn. Free byte count is unchanged; high-order
+     * contiguity is destroyed until buddies lazily re-merge through
+     * free(). Highest-address blocks are taken first, mirroring how
+     * background churn eats the reserve the exploit's lowest-first
+     * allocations have not touched yet.
+     */
+    void fragmentationSpike(unsigned blocks = 4);
+
   private:
     std::uint64_t pageIndexOf(PhysAddr a) const { return a / pageBytes; }
 
@@ -78,6 +99,7 @@ class BuddyAllocator
     // Free lists hold page indices (block base), kept sorted so
     // allocation order is deterministic.
     std::vector<std::set<std::uint64_t>> freeLists;
+    FaultInjector *injector = nullptr;
 };
 
 } // namespace rho

@@ -28,7 +28,7 @@ PageTableManager::writeQword(PhysAddr pa, std::uint64_t value)
         sys.writeByte(pa + i, static_cast<std::uint8_t>(value >> (8 * i)));
 }
 
-void
+bool
 PageTableManager::mapPage(std::uint64_t pid, VirtAddr va, PhysAddr pa,
                           bool writable)
 {
@@ -36,8 +36,10 @@ PageTableManager::mapPage(std::uint64_t pid, VirtAddr va, PhysAddr pa,
     auto it = ptPages.find(key);
     if (it == ptPages.end()) {
         auto pt = buddy.allocPage();
-        if (!pt)
-            fatal("PageTableManager: out of memory for PT page");
+        if (!pt) {
+            warn("PageTableManager: out of memory for PT page");
+            return false;
+        }
         it = ptPages.emplace(key, *pt).first;
         // Zero the fresh table through the data path.
         for (unsigned i = 0; i < 512; ++i)
@@ -45,6 +47,7 @@ PageTableManager::mapPage(std::uint64_t pid, VirtAddr va, PhysAddr pa,
     }
     unsigned idx = (va >> 12) & 0x1ff;
     writeQword(it->second + idx * 8, pte::make(pa, writable));
+    return true;
 }
 
 std::optional<PhysAddr>

@@ -47,9 +47,13 @@ class PageTableManager
   public:
     PageTableManager(MemorySystem &sys, BuddyAllocator &buddy);
 
-    /** Install a translation; allocates the PT page on first touch. */
-    void mapPage(std::uint64_t pid, VirtAddr va, PhysAddr pa,
-                 bool writable);
+    /**
+     * Install a translation; allocates the PT page on first touch.
+     * @return false if the PT page allocation failed (no mapping is
+     *         installed); existing-table mappings always succeed.
+     */
+    [[nodiscard]] bool mapPage(std::uint64_t pid, VirtAddr va,
+                               PhysAddr pa, bool writable);
 
     /**
      * MMU walk: reads the PTE from simulated DRAM, so hammered flips

@@ -15,15 +15,27 @@ AddressSpace::~AddressSpace()
         buddy.free(pa, 0);
 }
 
-VirtAddr
+std::optional<VirtAddr>
 AddressSpace::mmap(std::uint64_t bytes)
 {
     std::uint64_t npages = (bytes + pageBytes - 1) / pageBytes;
     VirtAddr base = nextVirt;
     for (std::uint64_t i = 0; i < npages; ++i) {
         auto pa = buddy.allocPage();
-        if (!pa)
-            fatal("AddressSpace::mmap: out of physical memory");
+        if (!pa) {
+            // Out of physical memory (or injected allocation fault):
+            // unwind the partial mapping so the caller sees a clean
+            // failure instead of a crash.
+            warn("AddressSpace::mmap: out of physical memory");
+            for (std::uint64_t j = 0; j < i; ++j) {
+                VirtAddr va = base + j * pageBytes;
+                auto it = pages.find(va);
+                reverse.erase(it->second);
+                buddy.free(it->second, 0);
+                pages.erase(it);
+            }
+            return std::nullopt;
+        }
         VirtAddr va = base + i * pageBytes;
         pages[va] = *pa;
         reverse[*pa] = va;
@@ -86,6 +98,7 @@ PhysPool::PhysPool(BuddyAllocator &buddy, double fraction)
     ownedBitmap.assign(total_pages, false);
     std::uint64_t target =
         static_cast<std::uint64_t>(fraction * total_pages);
+    unsigned misses = 0;
     while (pageList.size() < target) {
         // Grab large blocks first (fast and realistic: the kernel
         // serves large anonymous mappings from high orders).
@@ -94,9 +107,16 @@ PhysPool::PhysPool(BuddyAllocator &buddy, double fraction)
         if (!blk) {
             blk = buddy.allocPage();
             order = 0;
-            if (!blk)
-                break;
+            if (!blk) {
+                // A single failure may be an injected transient fault
+                // rather than true exhaustion; give up only after a
+                // few consecutive misses.
+                if (++misses >= 4)
+                    break;
+                continue;
+            }
         }
+        misses = 0;
         std::uint64_t npages = 1ULL << order;
         for (std::uint64_t i = 0; i < npages; ++i) {
             PhysAddr pa = *blk + i * pageBytes;

@@ -32,8 +32,12 @@ class AddressSpace
     AddressSpace(const AddressSpace &) = delete;
     AddressSpace &operator=(const AddressSpace &) = delete;
 
-    /** Map `bytes` of memory in 4 KiB pages; returns the virtual base. */
-    VirtAddr mmap(std::uint64_t bytes);
+    /**
+     * Map `bytes` of memory in 4 KiB pages.
+     * @return the virtual base, or nullopt if physical memory ran out
+     *         (any partially mapped pages are released again).
+     */
+    std::optional<VirtAddr> mmap(std::uint64_t bytes);
 
     /**
      * Map a physically contiguous block of 2^order pages (obtained by

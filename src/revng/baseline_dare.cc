@@ -4,6 +4,7 @@
 
 #include "common/bits.hh"
 #include "common/stats.hh"
+#include "revng/threshold.hh"
 
 namespace rho
 {
@@ -29,12 +30,7 @@ DareReverseEngineer::run()
     sys.advance(static_cast<double>(cfg.superpages) *
                 cfg.superpageSetupNs);
 
-    Histogram hist(20.0, 140.0, 240);
-    for (unsigned i = 0; i < 400; ++i) {
-        hist.add(probe.measurePair(pool.randomAddr(rng),
-                                   pool.randomAddr(rng), 8));
-    }
-    double thres = hist.separatingThreshold(0.005);
+    double thres = robustSeparatingThreshold(probe, pool, rng, 400);
     out.thresholdNs = thres;
 
     // In-superpage measurements: all pairwise tests over bits the
@@ -62,6 +58,7 @@ DareReverseEngineer::run()
         if (high_bits >= 2) {
             out.failureReason =
                 "bank functions exceed superpage-resolvable range";
+            out.code = FailureCode::SuperpageRangeExceeded;
             out.simTimeNs = sys.now() - t0;
             out.timedAccesses = probe.accessCount() - acc0;
             return out;

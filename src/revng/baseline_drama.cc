@@ -4,6 +4,7 @@
 
 #include "common/bits.hh"
 #include "common/stats.hh"
+#include "revng/threshold.hh"
 
 namespace rho
 {
@@ -27,23 +28,23 @@ DramaReverseEngineer::run()
     sys.advance(static_cast<Ns>(pool.ownedPages()) *
                 cfg.setupCostPerPageNs);
 
-    // Threshold from a latency histogram of random pairs.
-    Histogram hist(20.0, 140.0, 240);
-    for (unsigned i = 0; i < 600; ++i) {
-        hist.add(probe.measurePair(pool.randomAddr(rng),
-                                   pool.randomAddr(rng), 8));
-    }
-    double thres = hist.separatingThreshold(0.005);
+    // Threshold from a latency histogram of random pairs, collected
+    // in time-separated chunks so an interference burst cannot
+    // contaminate the whole distribution.
+    double thres = robustSeparatingThreshold(probe, pool, rng, 600);
     out.thresholdNs = thres;
 
     // Coloring: each sampled address joins the first bank set whose
-    // representative it conflicts with.
+    // representative it conflicts with. Decisions use the robust
+    // (median + re-measure) probe so a single noise burst does not
+    // spawn phantom bank sets.
     std::vector<std::vector<PhysAddr>> groups;
     for (unsigned i = 0; i < cfg.sampleAddrs; ++i) {
         PhysAddr a = pool.randomAddr(rng);
         bool placed = false;
         for (auto &g : groups) {
-            if (probe.measurePair(a, g.front(), 10) > thres) {
+            if (probe.measurePairRobust(a, g.front(), 10, {},
+                                        &out.measureRetry) > thres) {
                 g.push_back(a);
                 placed = true;
                 break;
@@ -103,6 +104,7 @@ DramaReverseEngineer::run()
     if (basis.size() < expected_fns || basis.empty()) {
         out.failureReason = "function search incomplete for " +
             std::to_string(groups.size()) + " sets";
+        out.code = FailureCode::FunctionSearchIncomplete;
         out.simTimeNs = sys.now() - t0;
         out.timedAccesses = probe.accessCount() - acc0;
         return out;
@@ -115,13 +117,16 @@ DramaReverseEngineer::run()
         auto base = pool.pairBase(rng, 1ULL << b);
         if (!base)
             continue;
-        if (probe.measurePair(*base, *base ^ (1ULL << b), 10) > thres)
+        if (probe.measurePairRobust(*base, *base ^ (1ULL << b), 10, {},
+                                    &out.measureRetry) > thres)
             out.rowBits.push_back(b);
     }
 
     out.success = !out.rowBits.empty();
-    if (!out.success)
+    if (!out.success) {
         out.failureReason = "no pure row bits detected";
+        out.code = FailureCode::NoPureRowBits;
+    }
     out.simTimeNs = sys.now() - t0;
     out.timedAccesses = probe.accessCount() - acc0;
     return out;

@@ -6,6 +6,7 @@
 
 #include "common/bits.hh"
 #include "common/stats.hh"
+#include "revng/threshold.hh"
 
 namespace rho
 {
@@ -29,26 +30,24 @@ DramDigReverseEngineer::run()
     sys.advance(static_cast<Ns>(pool.ownedPages()) *
                 cfg.setupCostPerPageNs);
 
-    Histogram hist(20.0, 140.0, 240);
-    for (unsigned i = 0; i < 800; ++i) {
-        hist.add(probe.measurePair(pool.randomAddr(rng),
-                                   pool.randomAddr(rng), 8));
-    }
-    double thres = hist.separatingThreshold(0.005);
+    double thres = robustSeparatingThreshold(probe, pool, rng, 800);
     out.thresholdNs = thres;
 
     unsigned phys_bits = sys.mapping().physBits();
 
-    // Knowledge-assisted step: find and exclude pure row bits.
+    // Knowledge-assisted step: find and exclude pure row bits. The
+    // robust probe replaces the tool's plain 4-sample average so an
+    // interference burst cannot misclassify a bit.
     std::vector<unsigned> pure_row, non_pure;
     for (unsigned b = cfg.lowestBit; b < phys_bits; ++b) {
         auto base = pool.pairBase(rng, 1ULL << b);
         if (!base)
             continue;
-        double t = 0;
-        for (int k = 0; k < 4; ++k)
-            t += probe.measurePair(*base, *base ^ (1ULL << b), 25);
-        if (t / 4 > thres)
+        RobustTimingConfig rt;
+        rt.baseSamples = 4;
+        double t = probe.measurePairRobust(*base, *base ^ (1ULL << b),
+                                           100, rt, &out.measureRetry);
+        if (t > thres)
             pure_row.push_back(b);
         else
             non_pure.push_back(b);
@@ -58,6 +57,7 @@ DramDigReverseEngineer::run()
         // The tool's core assumption: pure row bits must exist to
         // bound the brute-force space. On Alder/Raptor they do not.
         out.failureReason = "premature exit: no pure row bits";
+        out.code = FailureCode::NoPureRowBits;
         out.simTimeNs = sys.now() - t0;
         out.timedAccesses = probe.accessCount() - acc0;
         return out;
@@ -71,7 +71,8 @@ DramDigReverseEngineer::run()
         PhysAddr a = pool.randomAddr(rng);
         bool placed = false;
         for (auto &g : groups) {
-            if (probe.measurePair(a, g.front(), 10) > thres) {
+            if (probe.measurePairRobust(a, g.front(), 10, {},
+                                        &out.measureRetry) > thres) {
                 g.push_back(a);
                 placed = true;
                 break;
@@ -151,6 +152,7 @@ DramDigReverseEngineer::run()
         ++expected_fns;
     if (basis.size() != expected_fns) {
         out.failureReason = "function basis does not explain bank sets";
+        out.code = FailureCode::FunctionSearchIncomplete;
         out.simTimeNs = sys.now() - t0;
         out.timedAccesses = probe.accessCount() - acc0;
         return out;
@@ -164,7 +166,8 @@ DramDigReverseEngineer::run()
         auto base = pool.pairBase(rng, fn);
         if (!base)
             continue;
-        if (probe.measurePair(*base, *base ^ fn, 25) > thres) {
+        if (probe.measurePairRobust(*base, *base ^ fn, 25, {},
+                                    &out.measureRetry) > thres) {
             auto fn_bits = bitsOfMask(fn);
             rows.push_back(fn_bits.back());
         }

@@ -7,6 +7,7 @@
 #include "common/bits.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "revng/threshold.hh"
 
 namespace rho
 {
@@ -57,20 +58,71 @@ RhoReverseEngineer::RhoReverseEngineer(TimingProbe &probe_,
 double
 RhoReverseEngineer::tSbdr(std::uint64_t diff_mask)
 {
-    RunningStat stat;
-    for (unsigned i = 0; i < cfg.pairsPerMeasurement; ++i) {
-        auto base = pool.pairBase(rng, diff_mask);
-        if (!base)
-            continue;
-        stat.add(probe.measurePair(*base, *base ^ diff_mask,
-                                   cfg.roundsPerPair));
-    }
-    if (stat.count() == 0) {
+    auto measureBatch = [&]() {
+        std::vector<double> samples;
+        samples.reserve(cfg.pairsPerMeasurement);
+        for (unsigned i = 0; i < cfg.pairsPerMeasurement; ++i) {
+            auto base = pool.pairBase(rng, diff_mask);
+            if (!base)
+                continue;
+            samples.push_back(probe.measurePair(
+                *base, *base ^ diff_mask, cfg.roundsPerPair));
+        }
+        return samples;
+    };
+
+    // A batch's instability score: the spread of its MAD inliers, with
+    // an extra penalty when too many samples were rejected as
+    // outliers. A clean batch (intrinsic rdtscp jitter only) scores
+    // well under madStableNs; a batch overlapping an interference
+    // burst scores far above it.
+    auto score = [&](const std::vector<double> &samples,
+                     const std::vector<double> &inliers) {
+        double spread = medianAbsDeviation(inliers, median(inliers));
+        if (inliers.size() <
+            static_cast<std::size_t>(cfg.minInlierFrac * samples.size()))
+            spread += cfg.madStableNs;
+        return spread;
+    };
+
+    std::vector<double> samples = measureBatch();
+    measureRetry.recordAttempt();
+    if (samples.empty()) {
         warn("tSbdr: no owned pair for mask %llx",
              static_cast<unsigned long long>(diff_mask));
         return 0.0;
     }
-    return stat.mean();
+
+    // Keep whole batches independent instead of pooling them: a batch
+    // taken inside a burst is contaminated wholesale, and pooling it
+    // with later clean samples would let the poisoned majority own
+    // the median. The most stable batch wins; re-measure with bounded
+    // exponential backoff until one is stable or the budget is spent.
+    std::vector<double> inliers =
+        madFilter(samples, cfg.madK, cfg.madFloorNs);
+    double best_value = median(inliers);
+    double best_score = score(samples, inliers);
+
+    Ns backoff = cfg.remeasureBackoffNs;
+    for (unsigned round = 0;
+         round < cfg.maxRemeasureRounds && best_score > cfg.madStableNs;
+         ++round) {
+        probe.system().advance(backoff);
+        measureRetry.recordRetry(backoff);
+        backoff = std::min(backoff * cfg.backoffFactor, cfg.maxBackoffNs);
+
+        samples = measureBatch();
+        if (samples.empty())
+            continue;
+        inliers = madFilter(samples, cfg.madK, cfg.madFloorNs);
+        double s = score(samples, inliers);
+        if (s < best_score) {
+            best_score = s;
+            best_value = median(inliers);
+        }
+    }
+
+    return best_value;
 }
 
 double
@@ -79,14 +131,11 @@ RhoReverseEngineer::findThreshold()
     // Probability-distribution method: random pairs fall into two
     // assembly areas (SBDR and non-SBDR); split them at the widest
     // density gap. The SBDR fraction is roughly 1/(#banks-1), so the
-    // upper mode is small but well separated.
-    Histogram hist(20.0, 140.0, 240);
-    for (unsigned i = 0; i < cfg.thresholdPairs; ++i) {
-        PhysAddr a = pool.randomAddr(rng);
-        PhysAddr b = pool.randomAddr(rng);
-        hist.add(probe.measurePair(a, b, 8));
-    }
-    return hist.separatingThreshold(0.005);
+    // upper mode is small but well separated. Chunked over simulated
+    // time so a burst poisons at most a minority of the per-chunk
+    // thresholds, never the merged histogram.
+    return robustSeparatingThreshold(probe, pool, rng,
+                                     cfg.thresholdPairs);
 }
 
 MappingRecovery
@@ -97,6 +146,7 @@ RhoReverseEngineer::run()
     std::uint64_t acc0 = probe.accessCount();
 
     MappingRecovery out;
+    measureRetry = RetryStats{};
 
     // Charge the (dominant) setup cost: allocating ~70% of physical
     // memory in 4 KiB pages and reading their pagemap entries.
@@ -138,8 +188,10 @@ RhoReverseEngineer::run()
 
     if (fn_pairs.empty()) {
         out.failureReason = "no row-inclusive bank functions found";
+        out.code = FailureCode::NoRowFunctions;
         out.simTimeNs = sys.now() - t0;
         out.timedAccesses = probe.accessCount() - acc0;
+        out.measureRetry = measureRetry;
         return out;
     }
 
@@ -199,10 +251,13 @@ RhoReverseEngineer::run()
     out.rowBits = row_bits;
 
     out.success = !out.bankFns.empty() && !out.rowBits.empty();
-    if (!out.success)
+    if (!out.success) {
         out.failureReason = "incomplete structure";
+        out.code = FailureCode::IncompleteStructure;
+    }
     out.simTimeNs = sys.now() - t0;
     out.timedAccesses = probe.accessCount() - acc0;
+    out.measureRetry = measureRetry;
     return out;
 }
 

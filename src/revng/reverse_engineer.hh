@@ -12,7 +12,9 @@
 #include <string>
 #include <vector>
 
+#include "common/failure.hh"
 #include "common/rng.hh"
+#include "common/stats.hh"
 #include "memsys/timing_probe.hh"
 #include "os/pagemap.hh"
 
@@ -28,6 +30,19 @@ struct ReverseEngineerConfig
     unsigned lowestBit = 6;            //!< cache-line bits never matter
     /** Modelled mmap+pagemap setup cost per pooled 4 KiB page. */
     Ns setupCostPerPageNs = 1500.0;
+
+    // Robustness against environmental interference (co-running
+    // workload bursts injected by a FaultSchedule). Fault-free these
+    // change nothing measurable: the MAD of a clean sample set sits
+    // well under madStableNs, so no re-measurement ever triggers.
+    double madK = 3.5;           //!< inlier band half-width, in MADs
+    double madFloorNs = 1.0;     //!< MAD floor (degenerate zero spread)
+    double madStableNs = 3.0;    //!< spread above this => interference
+    double minInlierFrac = 0.75; //!< required surviving-sample fraction
+    unsigned maxRemeasureRounds = 3; //!< extra batches when unstable
+    Ns remeasureBackoffNs = 2e6; //!< first backoff, simulated ns
+    double backoffFactor = 2.0;  //!< exponential backoff growth
+    Ns maxBackoffNs = 8e6;       //!< backoff ceiling
 };
 
 /** Outcome of a mapping-recovery run (any tool). */
@@ -35,6 +50,8 @@ struct MappingRecovery
 {
     bool success = false;
     std::string failureReason;
+    FailureCode code = FailureCode::None;
+    RetryStats measureRetry; //!< robust-measurement retries/backoffs
     std::vector<std::uint64_t> bankFns;
     std::vector<unsigned> rowBits; //!< ascending
     double thresholdNs = 0.0;
@@ -64,7 +81,13 @@ class RhoReverseEngineer
     MappingRecovery run();
 
   private:
-    /** T_SBDR(M, diff_mask): averaged pairwise timing, in ns. */
+    /**
+     * T_SBDR(M, diff_mask): robust pairwise timing, in ns. Samples
+     * are MAD-filtered; when the surviving set is too small or too
+     * spread (interference burst), the measurement backs off in
+     * simulated time and takes fresh batches, up to
+     * cfg.maxRemeasureRounds times, then returns the inlier median.
+     */
     double tSbdr(std::uint64_t diff_mask);
 
     /** Step 0: find the SBDR/non-SBDR separating threshold. */
@@ -74,6 +97,7 @@ class RhoReverseEngineer
     const PhysPool &pool;
     Rng rng;
     ReverseEngineerConfig cfg;
+    RetryStats measureRetry;
 };
 
 } // namespace rho

@@ -92,7 +92,9 @@ TEST(AddressSpace, MapTranslateUnmap)
 {
     BuddyAllocator b(1ULL << 26, 0.0);
     AddressSpace as(b);
-    VirtAddr va = as.mmap(3 * pageBytes);
+    auto mapped = as.mmap(3 * pageBytes);
+    ASSERT_TRUE(mapped);
+    VirtAddr va = *mapped;
     EXPECT_EQ(as.mappedPages(), 3u);
     auto pa = as.virtToPhys(va + pageBytes + 123);
     ASSERT_TRUE(pa);
@@ -120,7 +122,7 @@ TEST(AddressSpace, DestructorReturnsMemory)
     std::uint64_t before = b.freeBytes();
     {
         AddressSpace as(b);
-        as.mmap(64 * pageBytes);
+        ASSERT_TRUE(as.mmap(64 * pageBytes));
         EXPECT_LT(b.freeBytes(), before);
     }
     EXPECT_EQ(b.freeBytes(), before);
@@ -158,7 +160,7 @@ TEST(PageTable, MapAndTranslateThroughDram)
 
     PhysAddr frame = *buddy.allocPage();
     VirtAddr va = 0x500000000000ULL;
-    pt.mapPage(7, va, frame, true);
+    ASSERT_TRUE(pt.mapPage(7, va, frame, true));
     auto xlate = pt.translate(7, va + 77);
     ASSERT_TRUE(xlate);
     EXPECT_EQ(*xlate, frame + 77);
@@ -174,7 +176,7 @@ TEST(PageTable, PteLivesInDramAndBitFlipsRedirect)
 
     PhysAddr frame = *buddy.alloc(5); // aligned so bit 13 of PTE is 0
     VirtAddr va = 0x600000000000ULL;
-    pt.mapPage(9, va, frame, true);
+    ASSERT_TRUE(pt.mapPage(9, va, frame, true));
     auto pte_addr = pt.pteAddrOf(9, va);
     ASSERT_TRUE(pte_addr);
 
@@ -193,10 +195,12 @@ TEST(PageTable, SharedTableWithinRegion)
     BuddyAllocator buddy(sys.mapping().memBytes(), 0.02);
     PageTableManager pt(sys, buddy);
     VirtAddr base = 0x700000000000ULL;
-    pt.mapPage(1, base, *buddy.allocPage(), true);
+    ASSERT_TRUE(pt.mapPage(1, base, *buddy.allocPage(), true));
     auto before = pt.ptPagesAllocated();
-    pt.mapPage(1, base + 5 * pageBytes, *buddy.allocPage(), true);
+    ASSERT_TRUE(
+        pt.mapPage(1, base + 5 * pageBytes, *buddy.allocPage(), true));
     EXPECT_EQ(pt.ptPagesAllocated(), before); // same 2 MiB region
-    pt.mapPage(1, base + (pageBytes << 9), *buddy.allocPage(), true);
+    ASSERT_TRUE(
+        pt.mapPage(1, base + (pageBytes << 9), *buddy.allocPage(), true));
     EXPECT_EQ(pt.ptPagesAllocated(), before + 1);
 }

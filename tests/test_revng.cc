@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "fault/fault_injector.hh"
 #include "revng/baseline_dare.hh"
 #include "revng/baseline_drama.hh"
 #include "revng/baseline_dramdig.hh"
@@ -147,6 +148,8 @@ TEST(DramDig, AbortsWithoutPureRowBits)
         MappingRecovery rec = dd.run();
         EXPECT_FALSE(rec.success);
         EXPECT_NE(rec.failureReason.find("pure row"), std::string::npos);
+        EXPECT_EQ(rec.code, FailureCode::NoPureRowBits);
+        EXPECT_GT(rec.simTimeNs, 0.0);
     }
 }
 
@@ -177,6 +180,55 @@ TEST(Dare, FailsOnAlderRaptor)
         EXPECT_FALSE(rec.success) << archName(arch);
         EXPECT_NE(rec.failureReason.find("superpage"),
                   std::string::npos);
+        EXPECT_EQ(rec.code, FailureCode::SuperpageRangeExceeded);
+        EXPECT_GT(rec.simTimeNs, 0.0);
+    }
+}
+
+// ---- Structured-failure contract ------------------------------------
+//
+// Every failure branch a recovery tool can actually take must report
+// success=false together with a stable failureReason string and a
+// machine-readable FailureCode. (The remaining enum values —
+// IncompleteStructure, and DRAMA's NoPureRowBits — guard internal
+// invariants that no stock preset or fault schedule can violate; they
+// share the same reporting pattern and stay as defense in depth.)
+
+TEST(FailurePaths, RhoReFailsHonestlyUnderOverwhelmingNoise)
+{
+    // Constant (not bursty) timing noise wider than the latency-mode
+    // separation defeats every robust-measurement layer by design:
+    // there is no clean window to re-measure in. The tool must say so
+    // instead of returning a garbage mapping.
+    Rig rig(Arch::CometLake, "S2", 27);
+    FaultLevels lv;
+    lv.timingNoiseSigmaNs = 60.0;
+    lv.timingDriftNs = 30.0;
+    FaultInjector inj(FaultSchedule::constant(lv), 27);
+    rig.sys.attachFaultInjector(&inj);
+
+    RhoReverseEngineer re(rig.probe, rig.pool, 27);
+    MappingRecovery rec = re.run();
+    EXPECT_FALSE(rec.success);
+    EXPECT_EQ(rec.code, FailureCode::NoRowFunctions);
+    EXPECT_EQ(rec.failureReason, "no row-inclusive bank functions found");
+    EXPECT_GT(rec.simTimeNs, 0.0);
+    // The robust layers visibly fought the noise before giving up.
+    EXPECT_GT(rec.measureRetry.retries, 0u);
+    EXPECT_GT(rec.measureRetry.backoffNs, 0.0);
+}
+
+TEST(FailurePaths, DramaFunctionSearchIncompleteIsStructured)
+{
+    for (Arch arch : {Arch::AlderLake, Arch::RaptorLake}) {
+        Rig rig(arch, "S2", 26);
+        DramaReverseEngineer drama(rig.probe, rig.pool, 26);
+        MappingRecovery rec = drama.run();
+        EXPECT_FALSE(rec.success) << archName(arch);
+        EXPECT_EQ(rec.code, FailureCode::FunctionSearchIncomplete);
+        EXPECT_NE(rec.failureReason.find("function search incomplete"),
+                  std::string::npos);
+        EXPECT_GT(rec.simTimeNs, 0.0);
     }
 }
 
