@@ -5,9 +5,16 @@
  * speculation NOP barrier and run one prefetch-based hammering pass.
  *
  * This is the 5-minute tour of the library's public API.
+ *
+ * Pass `--trace FILE.json` to record the run as a Chrome trace_event
+ * document: open the file at https://ui.perfetto.dev to see phase
+ * slices (reverse-engineering, NOP tuning, hammering) with bit-flip
+ * and fault instants on the timeline. Tracing also switches on the
+ * unified metrics dump at the end of the run.
  */
 
 #include <cstdio>
+#include <cstring>
 
 #include "common/logging.hh"
 #include "hammer/nop_tuner.hh"
@@ -15,13 +22,23 @@
 #include "memsys/memory_system.hh"
 #include "os/pagemap.hh"
 #include "revng/reverse_engineer.hh"
+#include "trace/chrome_trace.hh"
+#include "trace/metrics.hh"
+#include "trace/metrics_adapters.hh"
+#include "trace/tracer.hh"
 
 using namespace rho;
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+
+    const char *trace_path = nullptr;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (!std::strcmp(argv[i], "--trace"))
+            trace_path = argv[i + 1];
+    }
 
     // 1. A simulated machine: Raptor Lake core + DDR4 DIMM "S2".
     const DimmProfile &dimm = DimmProfile::byId("S2");
@@ -29,6 +46,16 @@ main()
     std::printf("machine: %s + DIMM %s (%u GiB)\n",
                 archName(sys.arch()).c_str(), dimm.id.c_str(),
                 dimm.geom.sizeGib());
+
+    // Optional event tracing. High-rate categories are masked off: a
+    // quickstart run issues millions of ACTs (and the TRR sampler
+    // observes a large fraction of them), which would swamp both the
+    // ring and the Perfetto timeline. What remains — phase slices,
+    // bit-flip and fault instants — is the story worth looking at.
+    Tracer tracer(TraceConfig{true, CatFlip | CatFault | CatPhase,
+                              std::size_t{1} << 20});
+    if (trace_path)
+        sys.attachTracer(&tracer);
 
     // 2. Reverse-engineer the DRAM address mapping from timing alone.
     BuddyAllocator buddy(sys.mapping().memBytes());
@@ -69,5 +96,26 @@ main()
                 static_cast<unsigned long long>(out.flips),
                 out.perf.missRate() * 100.0,
                 out.perf.dramAccessRate() / 1e6);
+
+    // 5. Export the trace and the unified counters.
+    if (trace_path) {
+        sys.attachTracer(nullptr);
+        if (!chromeTraceWrite(trace_path, tracer.events())) {
+            std::fprintf(stderr, "failed to write %s\n", trace_path);
+            return 1;
+        }
+        std::printf("\nwrote %zu events to %s (load at "
+                    "https://ui.perfetto.dev)\n",
+                    tracer.events().size(), trace_path);
+        if (tracer.dropped() > 0)
+            std::printf("note: ring overflowed, %llu oldest events "
+                        "dropped\n",
+                        static_cast<unsigned long long>(tracer.dropped()));
+
+        MetricsRegistry metrics;
+        addMetrics(metrics, sys.dimm());
+        addMetrics(metrics, out.perf);
+        std::printf("\nunified metrics:\n%s", metrics.dump().c_str());
+    }
     return 0;
 }

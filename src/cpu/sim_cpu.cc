@@ -30,6 +30,19 @@ SimCpu::lfbRelease(Ns release_at)
     std::push_heap(lfb.begin(), lfb.end(), std::greater<>());
 }
 
+// Advance `now` to `ready` because a back-end resource (0 = ROB,
+// 1 = load queue, 2 = store buffer) is full; traces the stall when it
+// actually costs time.
+void
+SimCpu::stallTo(Ns ready, std::uint32_t resource)
+{
+    if (ready > now) {
+        RHO_TRACE(tracer, now, EventKind::InstrStall, 0, resource, 0,
+                  traceBits(ready - now));
+        now = ready;
+    }
+}
+
 void
 SimCpu::robPush(Ns completion)
 {
@@ -38,7 +51,7 @@ SimCpu::robPush(Ns completion)
         // frees up; commits cannot reorder, so retire time is monotone.
         lastRobRetire = std::max(lastRobRetire, rob.front());
         rob.pop_front();
-        now = std::max(now, lastRobRetire);
+        stallTo(lastRobRetire, 0);
     }
     rob.push_back(completion);
 }
@@ -105,10 +118,14 @@ SimCpu::execOp(const Op &op, const HammerKernel &kernel, MemoryBackend &mem,
         // ROB slots); its only effect is to space later ops out.
         now += cyc(arch.nopCyc) * op.count;
         ctr.nops += op.count;
+        RHO_TRACE(tracer, now, EventKind::InstrRetire, 0,
+                  static_cast<std::uint32_t>(op.kind), 0, op.count);
         return;
 
       case OpKind::AluDep:
         now += cyc(arch.aluCyc) * op.count;
+        RHO_TRACE(tracer, now, EventKind::InstrRetire, 0,
+                  static_cast<std::uint32_t>(op.kind), 0, op.count);
         return;
 
       case OpKind::Lfence: {
@@ -151,6 +168,8 @@ SimCpu::execOp(const Op &op, const HammerKernel &kernel, MemoryBackend &mem,
         if (miss) {
             ++ctr.branchMispredicts;
             now += cyc(arch.branchResolveCyc + arch.mispredictPenaltyCyc);
+            RHO_TRACE(tracer, now, EventKind::PipelineFlush, 0, 1,
+                      op_index, 0);
         }
         return;
       }
@@ -163,6 +182,8 @@ SimCpu::execOp(const Op &op, const HammerKernel &kernel, MemoryBackend &mem,
         if (miss) {
             ++ctr.branchMispredicts;
             now += cyc(arch.branchResolveCyc + arch.mispredictPenaltyCyc);
+            RHO_TRACE(tracer, now, EventKind::PipelineFlush, 0, 0,
+                      op_index, 0);
         }
         return;
       }
@@ -192,7 +213,7 @@ SimCpu::execOp(const Op &op, const HammerKernel &kernel, MemoryBackend &mem,
             // a full buffer stalls dispatch, pacing the front end to
             // memory reality.
             if (storeBuffer.size() >= arch.sbSize) {
-                now = std::max(now, storeBuffer.front());
+                stallTo(storeBuffer.front(), 2);
                 storeBuffer.pop_front();
             }
             storeBuffer.push_back(done);
@@ -226,9 +247,11 @@ SimCpu::execOp(const Op &op, const HammerKernel &kernel, MemoryBackend &mem,
         Ns completion;
         if (cache.presentOrInFlight(op.line, issue)) {
             ++ctr.cacheHits;
+            RHO_TRACE(tracer, issue, EventKind::CacheHit, 0, 0, pa, 0);
             completion = std::max(issue, cache.fillDone(op.line))
                 + cyc(arch.l1HitCyc);
         } else {
+            RHO_TRACE(tracer, issue, EventKind::CacheMiss, 0, 0, pa, 0);
             // Demand misses enter the memory subsystem with a minimum
             // spacing; this is what keeps single-threaded loads from
             // saturating DRAM bandwidth.
@@ -247,7 +270,7 @@ SimCpu::execOp(const Op &op, const HammerKernel &kernel, MemoryBackend &mem,
         if (loadQueue.size() >= arch.lqSize) {
             lastLoadRetire = std::max(lastLoadRetire, loadQueue.front());
             loadQueue.pop_front();
-            now = std::max(now, lastLoadRetire);
+            stallTo(lastLoadRetire, 1);
         }
         loadQueue.push_back(completion);
         robPush(completion);
@@ -258,11 +281,14 @@ SimCpu::execOp(const Op &op, const HammerKernel &kernel, MemoryBackend &mem,
         if (cache.presentOrInFlight(op.line, issue)) {
             // Hint ignored: line present or still being flushed/filled.
             ++ctr.cacheHits;
+            RHO_TRACE(tracer, issue, EventKind::CacheHit, 1, 0, pa, 0);
         } else {
             while (!pfQueue.empty() && pfQueue.front() <= issue)
                 pfQueue.pop_front();
             if (pfQueue.size() >= arch.pfQueueSize) {
                 ++ctr.pfQueueDrops;
+                RHO_TRACE(tracer, issue, EventKind::PrefetchDrop, 0, 0,
+                          pa, 0);
             } else {
                 Ns base = pfQueue.empty()
                     ? issue : std::max(issue, pfQueue.back());
@@ -278,6 +304,8 @@ SimCpu::execOp(const Op &op, const HammerKernel &kernel, MemoryBackend &mem,
                 cache.recordFill(op.line, fill_done);
                 pfQueue.push_back(grant);
                 ++ctr.dramAccesses;
+                RHO_TRACE(tracer, grant, EventKind::PrefetchIssue, 0, 0,
+                          pa, 0);
                 lastFillDone = std::max(lastFillDone, fill_done);
             }
         }

@@ -41,6 +41,7 @@
 #include "cpu/cache_model.hh"
 #include "cpu/kernel.hh"
 #include "cpu/perf_counters.hh"
+#include "trace/tracer.hh"
 
 namespace rho
 {
@@ -77,6 +78,14 @@ class SimCpu
 
     const ArchParams &params() const { return arch; }
 
+    /**
+     * Attach a tracer (nullptr detaches) for retire/stall/cache/
+     * prefetch events (category Cpu — off in CatDefault; these are
+     * the highest-volume events in the system). Tracing never draws
+     * randomness or advances time.
+     */
+    void setTracer(Tracer *t) { tracer = t; }
+
   private:
     // One pass over the kernel body; returns false when budget hit.
     void execOp(const Op &op, const HammerKernel &kernel,
@@ -89,6 +98,7 @@ class SimCpu
     void lfbRelease(Ns release_at);
 
     void robPush(Ns completion);
+    void stallTo(Ns ready, std::uint32_t resource);
 
     Ns dram(MemoryBackend &mem, PhysAddr pa, Ns t);
 
@@ -116,6 +126,7 @@ class SimCpu
     Ns lastPfGrant = -1e18;
     PerfCounters ctr;
     std::uint64_t budget = 0;
+    Tracer *tracer = nullptr;
 };
 
 } // namespace rho

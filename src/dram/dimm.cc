@@ -40,13 +40,32 @@ Dimm::autoRefreshBefore(std::uint64_t row, Ns now) const
     return phase + k * tim.tREFW;
 }
 
+// Zero a row's accumulated disturbance, emitting DisturbReset only
+// when charge was actually dropped — so a quiet row never produces
+// trace chatter and the causal replay sees exactly the resets that
+// gate flips.
 void
-Dimm::applyAutoRefresh(RowState &rs, std::uint64_t row, Ns now)
+Dimm::resetDisturb(RowState &rs, std::uint32_t bank, std::uint64_t row,
+                   Ns when, ResetSource source)
+{
+    if (rs.disturb > 0.0) {
+        RHO_TRACE(tracer, when, EventKind::DisturbReset,
+                  static_cast<std::uint8_t>(source), bank, row,
+                  traceBits(rs.disturb));
+    }
+    rs.disturb = 0.0;
+}
+
+void
+Dimm::applyAutoRefresh(RowState &rs, std::uint32_t bank,
+                       std::uint64_t row, Ns now)
 {
     Ns last = autoRefreshBefore(row, now);
     if (last > rs.lastRefresh) {
         rs.lastRefresh = last;
-        rs.disturb = 0.0;
+        // Stamped with the refresh's own (earlier) time: the stream
+        // stays causally ordered even though the reset applies lazily.
+        resetDisturb(rs, bank, row, last, ResetSource::AutoRefresh);
     }
 }
 
@@ -58,7 +77,7 @@ Dimm::rowState(std::uint32_t bank, std::uint64_t row, Ns now)
     if (inserted)
         rs.lastRefresh = autoRefreshBefore(row, now);
     else
-        applyAutoRefresh(rs, row, now);
+        applyAutoRefresh(rs, bank, row, now);
     return rs;
 }
 
@@ -78,6 +97,8 @@ Dimm::disturbNeighbour(std::uint32_t bank, std::uint64_t victim,
 {
     RowState &rs = rowState(bank, victim, now);
     rs.disturb += weight;
+    RHO_TRACE(tracer, now, EventKind::Disturb, 0, bank, victim,
+              traceBits(weight));
 
     if (!rs.cellsInit) {
         rs.cells = prof.weakCellsFor(bank, victim);
@@ -96,6 +117,10 @@ Dimm::disturbNeighbour(std::uint32_t bank, std::uint64_t victim,
         // the hammer must re-accumulate from zero. A retried run can
         // still produce the flip; a budget-exhausted run cannot.
         if (injector && injector->suppressFlip()) {
+            // FlipSuppressed implies the disturb reset; the causal
+            // replay treats it as one (no separate DisturbReset).
+            RHO_TRACE(tracer, now, EventKind::FlipSuppressed, 0, bank,
+                      victim, traceBits(rs.disturb));
             rs.disturb = 0.0;
             return;
         }
@@ -110,16 +135,21 @@ Dimm::disturbNeighbour(std::uint32_t bank, std::uint64_t victim,
         if (c.trueCell && stored_one) {
             data[byte] &= ~mask;
             flips.push_back({bank, victim, c.bitOffset, false, now});
+            RHO_TRACE(tracer, now, EventKind::BitFlip, 0, bank, victim,
+                      c.bitOffset);
         } else if (!c.trueCell && !stored_one) {
             data[byte] |= mask;
             flips.push_back({bank, victim, c.bitOffset, true, now});
+            RHO_TRACE(tracer, now, EventKind::BitFlip, 1, bank, victim,
+                      c.bitOffset);
         }
         rs.flipped[i] = true;
     }
 }
 
 void
-Dimm::refreshNeighbours(std::uint32_t bank, std::uint64_t row, Ns now)
+Dimm::refreshNeighbours(std::uint32_t bank, std::uint64_t row, Ns now,
+                        ResetSource source)
 {
     for (int d = -2; d <= 2; ++d) {
         if (d == 0)
@@ -128,7 +158,7 @@ Dimm::refreshNeighbours(std::uint32_t bank, std::uint64_t row, Ns now)
         if (v < 0 || v >= static_cast<std::int64_t>(prof.geom.rowsPerBank))
             continue;
         RowState &rs = rowState(bank, static_cast<std::uint64_t>(v), now);
-        rs.disturb = 0.0;
+        resetDisturb(rs, bank, static_cast<std::uint64_t>(v), now, source);
         rs.lastRefresh = now;
     }
 }
@@ -144,8 +174,12 @@ Dimm::processTrrTicks(Ns now)
         nextTrrTick = std::floor(now / tim.tREFI) * tim.tREFI;
     }
     while (nextTrrTick <= now) {
-        for (const TrrTarget &t : trr.onRefreshTick())
-            refreshNeighbours(t.bank, t.row, nextTrrTick);
+        for (const TrrTarget &t : trr.onRefreshTick(nextTrrTick)) {
+            RHO_TRACE(tracer, nextTrrTick, EventKind::TrrTargetedRefresh,
+                      0, t.bank, t.row, 0);
+            refreshNeighbours(t.bank, t.row, nextTrrTick,
+                              ResetSource::TrrNeighbor);
+        }
         nextTrrTick += tim.tREFI;
     }
 }
@@ -154,24 +188,33 @@ void
 Dimm::doAct(std::uint32_t bank, std::uint64_t row, Ns now)
 {
     ++acts;
+    RHO_TRACE(tracer, now, EventKind::DramAct, 0, bank, row, 0);
     processTrrTicks(now);
 
-    if (auto ptrr = trr.observeAct(bank, row))
-        refreshNeighbours(ptrr->bank, ptrr->row, now);
+    if (auto ptrr = trr.observeAct(bank, row, now)) {
+        RHO_TRACE(tracer, now, EventKind::PtrrRefresh, 0, ptrr->bank,
+                  ptrr->row, 0);
+        refreshNeighbours(ptrr->bank, ptrr->row, now,
+                          ResetSource::TrrNeighbor);
+    }
 
     // DDR5 refresh management: deterministic per-bank RAA counters
     // trigger RFM commands that protect recently activated rows.
-    for (const TrrTarget &t : rfm.observeAct(bank, row))
-        refreshNeighbours(t.bank, t.row, now);
+    for (const TrrTarget &t : rfm.observeAct(bank, row)) {
+        RHO_TRACE(tracer, now, EventKind::RfmRefresh, 0, t.bank, t.row, 0);
+        refreshNeighbours(t.bank, t.row, now, ResetSource::RfmNeighbor);
+    }
 
     // Injected spurious TRR: the controller refreshes this row's
     // neighbourhood even though no sampler selected it.
-    if (injector && injector->spuriousRefresh())
-        refreshNeighbours(bank, row, now);
+    if (injector && injector->spuriousRefresh()) {
+        RHO_TRACE(tracer, now, EventKind::SpuriousRefresh, 0, bank, row, 0);
+        refreshNeighbours(bank, row, now, ResetSource::Spurious);
+    }
 
     // Activating a row restores the charge of its own cells.
     RowState &self = rowState(bank, row, now);
-    self.disturb = 0.0;
+    resetDisturb(self, bank, row, now, ResetSource::SelfAct);
     self.lastRefresh = now;
 
     for (int d = -2; d <= 2; ++d) {
@@ -202,6 +245,8 @@ Dimm::access(const DramAddr &da, Ns now)
         // Row-buffer hit: CAS only.
         Ns done = start + tim.tCL;
         bk.readyAt = start + 4 * tim.tCK;
+        RHO_TRACE(tracer, start, EventKind::DramRowHit, 0, da.bank,
+                  da.row, 0);
         res = {done - now + tim.busOverhead, true, false};
     } else {
         bool conflict = bk.openRow >= 0;
@@ -210,6 +255,9 @@ Dimm::access(const DramAddr &da, Ns now)
         Ns act_at = std::max(start, bk.lastActAt + tim.tRC);
         Ns pre = conflict ? tim.tRP : 0.0;
         Ns done = act_at + pre + tim.tRCD + tim.tCL;
+        if (conflict)
+            RHO_TRACE(tracer, act_at, EventKind::DramPre, 0, da.bank,
+                      static_cast<std::uint64_t>(bk.openRow), 0);
         bk.lastActAt = act_at + pre;
         bk.readyAt = act_at + pre + tim.tRCD;
         bk.openRow = static_cast<std::int64_t>(da.row);
@@ -229,7 +277,7 @@ Dimm::writeBytes(const DramAddr &da, const std::uint8_t *data,
     auto &bytes = materializeData(rs);
     std::copy(data, data + len, bytes.begin() + da.col);
     // The write activates and restores the row.
-    rs.disturb = 0.0;
+    resetDisturb(rs, da.bank, da.row, now, ResetSource::DataWrite);
     rs.lastRefresh = now;
     std::fill(rs.flipped.begin(), rs.flipped.end(), false);
 }
@@ -240,7 +288,7 @@ Dimm::readByte(const DramAddr &da, Ns now)
     RowState &rs = rowState(da.bank, da.row, now);
     std::uint8_t v = rs.data ? (*rs.data)[da.col] : rs.fill;
     // Reading activates and restores the row.
-    rs.disturb = 0.0;
+    resetDisturb(rs, da.bank, da.row, now, ResetSource::DataRead);
     rs.lastRefresh = now;
     return v;
 }
@@ -253,7 +301,7 @@ Dimm::fillRow(std::uint32_t bank, std::uint64_t row, std::uint8_t pattern,
     rs.fill = pattern;
     if (rs.data)
         std::fill(rs.data->begin(), rs.data->end(), pattern);
-    rs.disturb = 0.0;
+    resetDisturb(rs, bank, row, now, ResetSource::DataWrite);
     rs.lastRefresh = now;
     std::fill(rs.flipped.begin(), rs.flipped.end(), false);
 }

@@ -26,6 +26,7 @@
 #include "dram/rfm.hh"
 #include "dram/trr.hh"
 #include "mapping/address_mapping.hh"
+#include "trace/tracer.hh"
 
 namespace rho
 {
@@ -108,6 +109,19 @@ class Dimm
      */
     void setFaultInjector(FaultInjector *inj) { injector = inj; }
 
+    /**
+     * Attach a tracer (nullptr detaches) for DRAM command, disturb,
+     * flip, and mitigation events. Forwards to the TRR sampler.
+     * Tracing draws no randomness and touches no timing state, so an
+     * attached tracer never changes simulation results.
+     */
+    void
+    setTracer(Tracer *t)
+    {
+        tracer = t;
+        trr.setTracer(t);
+    }
+
   private:
     struct RowState
     {
@@ -134,9 +148,13 @@ class Dimm
     }
 
     RowState &rowState(std::uint32_t bank, std::uint64_t row, Ns now);
-    void applyAutoRefresh(RowState &rs, std::uint64_t row, Ns now);
+    void applyAutoRefresh(RowState &rs, std::uint32_t bank,
+                          std::uint64_t row, Ns now);
     Ns autoRefreshBefore(std::uint64_t row, Ns now) const;
-    void refreshNeighbours(std::uint32_t bank, std::uint64_t row, Ns now);
+    void refreshNeighbours(std::uint32_t bank, std::uint64_t row, Ns now,
+                           ResetSource source);
+    void resetDisturb(RowState &rs, std::uint32_t bank, std::uint64_t row,
+                      Ns when, ResetSource source);
     void doAct(std::uint32_t bank, std::uint64_t row, Ns now);
     void disturbNeighbour(std::uint32_t bank, std::uint64_t victim,
                           double weight, Ns now);
@@ -154,6 +172,7 @@ class Dimm
     Ns nextTrrTick = 0.0;
     double halfDoubleWeight = 0.08;
     FaultInjector *injector = nullptr;
+    Tracer *tracer = nullptr;
 };
 
 } // namespace rho

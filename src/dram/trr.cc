@@ -11,8 +11,9 @@ TrrSampler::TrrSampler(const TrrConfig &cfg_, std::uint32_t num_banks)
 }
 
 std::optional<TrrTarget>
-TrrSampler::observeAct(std::uint32_t bank, std::uint64_t row)
+TrrSampler::observeAct(std::uint32_t bank, std::uint64_t row, Ns now)
 {
+    (void)now; // only read when tracing is compiled in
     std::optional<TrrTarget> ptrr_hit;
     if (cfg.ptrr && rng.chance(cfg.ptrrSampleProb)) {
         ++issued;
@@ -28,27 +29,37 @@ TrrSampler::observeAct(std::uint32_t bank, std::uint64_t row)
     for (auto &e : table) {
         if (e.row == row) {
             ++e.count;
+            RHO_TRACE(tracer, now, EventKind::TrrSample, 0, bank, row,
+                      e.count);
             return ptrr_hit;
         }
     }
     if (table.size() < cfg.counters) {
         table.push_back({row, 1});
+        RHO_TRACE(tracer, now, EventKind::TrrSample, 0, bank, row, 1);
         return ptrr_hit;
     }
     // Misra-Gries: a non-resident sample decrements every counter.
     // This is the churn non-uniform patterns exploit: enough distinct
     // decoy rows keep true aggressor counts pinned near zero.
+    RHO_TRACE(tracer, now, EventKind::TrrSample, 0, bank, row, 0);
     for (auto &e : table) {
         if (e.count > 0)
             --e.count;
     }
-    std::erase_if(table, [](const Entry &e) { return e.count == 0; });
+    std::erase_if(table, [&](const Entry &e) {
+        if (e.count != 0)
+            return false;
+        RHO_TRACE(tracer, now, EventKind::TrrEvict, 0, bank, e.row, 0);
+        return true;
+    });
     return ptrr_hit;
 }
 
 std::vector<TrrTarget>
-TrrSampler::onRefreshTick()
+TrrSampler::onRefreshTick(Ns now)
 {
+    (void)now;
     std::vector<TrrTarget> out;
     if (!cfg.enabled)
         return out;

@@ -25,6 +25,7 @@
 
 #include "common/rng.hh"
 #include "common/types.hh"
+#include "trace/tracer.hh"
 
 namespace rho
 {
@@ -59,13 +60,13 @@ class TrrSampler
     TrrSampler(const TrrConfig &cfg, std::uint32_t num_banks);
 
     /**
-     * Observe one row activation.
+     * Observe one row activation at simulated time `now`.
      *
      * @return a pTRR target needing an *immediate* neighbour refresh,
      *         if pTRR sampled this activation.
      */
     std::optional<TrrTarget> observeAct(std::uint32_t bank,
-                                        std::uint64_t row);
+                                        std::uint64_t row, Ns now = 0.0);
 
     /**
      * Called once per tREFI: the device piggybacks targeted refreshes
@@ -74,10 +75,17 @@ class TrrSampler
      * @return aggressor rows (up to maxRefreshesPerTick) whose
      *         neighbours the device refreshes now.
      */
-    std::vector<TrrTarget> onRefreshTick();
+    std::vector<TrrTarget> onRefreshTick(Ns now = 0.0);
 
     /** Number of targeted refreshes issued so far (statistics). */
     std::uint64_t targetedRefreshes() const { return issued; }
+
+    /**
+     * Attach a tracer for TrrSample/TrrEvict events (nullptr
+     * detaches). Emission never consumes randomness, so tracing
+     * cannot perturb the sampler's decisions.
+     */
+    void setTracer(Tracer *t) { tracer = t; }
 
   private:
     struct Entry
@@ -90,6 +98,7 @@ class TrrSampler
     std::vector<std::vector<Entry>> tables; // per flat bank
     Rng rng;
     std::uint64_t issued = 0;
+    Tracer *tracer = nullptr;
 };
 
 } // namespace rho

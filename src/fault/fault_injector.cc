@@ -25,13 +25,28 @@ FaultInjector::FaultInjector(FaultSchedule schedule, std::uint64_t seed)
 {
 }
 
+void
+FaultInjector::noteActivity(bool active)
+{
+    if (active == lastActive)
+        return;
+    lastActive = active;
+    RHO_TRACE(tracer, now(),
+              active ? EventKind::FaultPhaseEnter
+                     : EventKind::FaultPhaseExit,
+              0, 0, 0, 0);
+}
+
 Ns
 FaultInjector::timingPerturbation()
 {
     FaultLevels l = levelsNow();
+    noteActivity(l.any());
     if (l.timingNoiseSigmaNs <= 0.0 && l.timingDriftNs == 0.0)
         return 0.0;
     ++st.timingPerturbations;
+    RHO_TRACE(tracer, now(), EventKind::FaultDelivered, 0,
+              static_cast<std::uint32_t>(FaultChannel::Timing), 0, 0);
     Ns jitter = l.timingNoiseSigmaNs > 0.0
                     ? timingRng.normal(0.0, l.timingNoiseSigmaNs)
                     : 0.0;
@@ -41,39 +56,63 @@ FaultInjector::timingPerturbation()
 bool
 FaultInjector::suppressFlip()
 {
-    double p = levelsNow().flipSuppressProb;
+    FaultLevels l = levelsNow();
+    noteActivity(l.any());
     // Rng::chance(p <= 0) returns false without consuming a draw, so
     // an inactive channel leaves the stream untouched.
-    bool hit = flipRng.chance(p);
-    if (hit)
+    bool hit = flipRng.chance(l.flipSuppressProb);
+    if (hit) {
         ++st.flipsSuppressed;
+        RHO_TRACE(tracer, now(), EventKind::FaultDelivered, 0,
+                  static_cast<std::uint32_t>(FaultChannel::FlipSuppress),
+                  0, 0);
+    }
     return hit;
 }
 
 bool
 FaultInjector::spuriousRefresh()
 {
-    bool hit = refreshRng.chance(levelsNow().spuriousRefreshProb);
-    if (hit)
+    FaultLevels l = levelsNow();
+    noteActivity(l.any());
+    bool hit = refreshRng.chance(l.spuriousRefreshProb);
+    if (hit) {
         ++st.spuriousRefreshes;
+        RHO_TRACE(
+            tracer, now(), EventKind::FaultDelivered, 0,
+            static_cast<std::uint32_t>(FaultChannel::SpuriousRefresh), 0,
+            0);
+    }
     return hit;
 }
 
 bool
 FaultInjector::allocFails()
 {
-    bool hit = allocRng.chance(levelsNow().allocFailProb);
-    if (hit)
+    FaultLevels l = levelsNow();
+    noteActivity(l.any());
+    bool hit = allocRng.chance(l.allocFailProb);
+    if (hit) {
         ++st.allocFailures;
+        RHO_TRACE(tracer, now(), EventKind::FaultDelivered, 0,
+                  static_cast<std::uint32_t>(FaultChannel::AllocFail), 0,
+                  0);
+    }
     return hit;
 }
 
 bool
 FaultInjector::fragmentSpike()
 {
-    bool hit = fragmentRng.chance(levelsNow().fragmentSpikeProb);
-    if (hit)
+    FaultLevels l = levelsNow();
+    noteActivity(l.any());
+    bool hit = fragmentRng.chance(l.fragmentSpikeProb);
+    if (hit) {
         ++st.fragmentSpikes;
+        RHO_TRACE(tracer, now(), EventKind::FaultDelivered, 0,
+                  static_cast<std::uint32_t>(FaultChannel::FragmentSpike),
+                  0, 0);
+    }
     return hit;
 }
 

@@ -23,6 +23,7 @@
 #include "common/rng.hh"
 #include "common/types.hh"
 #include "fault/fault_schedule.hh"
+#include "trace/tracer.hh"
 
 namespace rho
 {
@@ -85,7 +86,18 @@ class FaultInjector
     const FaultStats &stats() const { return st; }
     void clearStats() { st = FaultStats{}; }
 
+    /**
+     * Attach a tracer (nullptr detaches) for FaultDelivered events and
+     * schedule activity transitions (FaultPhaseEnter/Exit, observed at
+     * query time — the injector only sees the schedule when consulted).
+     * Tracing never consumes a random draw.
+     */
+    void setTracer(Tracer *t) { tracer = t; }
+
   private:
+    /** Emit phase-transition events when schedule activity changes. */
+    void noteActivity(bool active);
+
     FaultSchedule sched;
     const Ns *clock = nullptr;
     Rng timingRng;
@@ -94,6 +106,8 @@ class FaultInjector
     Rng allocRng;
     Rng fragmentRng;
     FaultStats st;
+    Tracer *tracer = nullptr;
+    bool lastActive = false;
 };
 
 } // namespace rho

@@ -165,8 +165,16 @@ HammerSession::hammerRaw(const HammerPattern &pattern,
     Dimm &dimm = sys.dimm();
     HammerKernel kernel = buildKernel(pattern, loc, cfg);
 
+    // The session's core is constructed before any tracer is attached
+    // to the system, so pick the current one up per run.
+    Tracer *tr = sys.tracer();
+    core.setTracer(tr);
+
     dimm.clearFlipLog();
     Ns start = sys.now();
+    RHO_TRACE(tr, start, EventKind::PhaseBegin, 0,
+              static_cast<std::uint32_t>(SimPhase::Hammer), loc.bank,
+              loc.baseRow);
     PerfCounters perf = core.run(kernel, sys, cfg.accessBudget, start);
     sys.syncTo(start + perf.timeNs);
 
@@ -174,6 +182,9 @@ HammerSession::hammerRaw(const HammerPattern &pattern,
     out.perf = perf;
     out.flipList = dimm.flipLog();
     out.flips = out.flipList.size();
+    RHO_TRACE(tr, sys.now(), EventKind::PhaseEnd, 0,
+              static_cast<std::uint32_t>(SimPhase::Hammer), loc.bank,
+              out.flips);
     return out;
 }
 
@@ -193,21 +204,35 @@ HammerSession::hammer(const HammerPattern &pattern,
 
     HammerKernel kernel = buildKernel(pattern, loc, cfg);
 
+    Tracer *tr = sys.tracer();
+    core.setTracer(tr);
+
     dimm.clearFlipLog();
     Ns start = sys.now();
+    RHO_TRACE(tr, start, EventKind::PhaseBegin, 0,
+              static_cast<std::uint32_t>(SimPhase::Hammer), loc.bank,
+              loc.baseRow);
     PerfCounters perf = core.run(kernel, sys, cfg.accessBudget, start);
     sys.syncTo(start + perf.timeNs);
 
     HammerOutcome out;
     out.perf = perf;
+    RHO_TRACE(tr, sys.now(), EventKind::PhaseEnd, 0,
+              static_cast<std::uint32_t>(SimPhase::Hammer), loc.bank, 0);
     // Verify by diffing victim rows against the planted pattern (the
     // flip log is the same set; the diff is the attacker's view).
+    RHO_TRACE(tr, sys.now(), EventKind::PhaseBegin, 0,
+              static_cast<std::uint32_t>(SimPhase::Verify), loc.bank,
+              loc.baseRow);
     for (auto [bank, row] : victims) {
         auto diffs = dimm.diffRow(bank, row, cfg.victimFill, sys.now());
         for (const auto &f : diffs)
             out.flipList.push_back(f);
     }
     out.flips = out.flipList.size();
+    RHO_TRACE(tr, sys.now(), EventKind::PhaseEnd, 0,
+              static_cast<std::uint32_t>(SimPhase::Verify), loc.bank,
+              out.flips);
 
     // Restore victim data so repeated trials start clean.
     for (auto [bank, row] : victims)

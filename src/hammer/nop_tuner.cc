@@ -1,5 +1,7 @@
 #include "hammer/nop_tuner.hh"
 
+#include "trace/tracer.hh"
+
 namespace rho
 {
 
@@ -17,6 +19,10 @@ tuneNops(HammerSession &session, const HammerPattern &pattern,
     for (unsigned l = 0; l < locations; ++l)
         locs.push_back(session.randomLocation(pattern, cfg));
 
+    MemorySystem &sys = session.system();
+    RHO_TRACE(sys.tracer(), sys.now(), EventKind::PhaseBegin, 0,
+              static_cast<std::uint32_t>(SimPhase::NopTune),
+              nop_counts.size(), locations);
     for (unsigned n : nop_counts) {
         cfg.barrier = BarrierKind::Nop;
         cfg.nopCount = n;
@@ -35,6 +41,9 @@ tuneNops(HammerSession &session, const HammerPattern &pattern,
             res.bestNops = n;
         }
     }
+    RHO_TRACE(sys.tracer(), sys.now(), EventKind::PhaseEnd, 0,
+              static_cast<std::uint32_t>(SimPhase::NopTune), res.bestNops,
+              res.bestFlips);
     return res;
 }
 

@@ -55,18 +55,27 @@ struct FuzzTaskResult
     std::uint64_t flips = 0;
     std::uint64_t dramAccesses = 0;
     Ns simTimeNs = 0.0;
+    // Device totals for the unified metrics (journaled).
+    std::uint64_t acts = 0;
+    std::uint64_t trrRefreshes = 0;
+    std::uint64_t rfmCommands = 0;
+    // Per-task trace; never journaled (tracing bypasses restores).
+    std::vector<TraceEvent> events;
 };
 
 /**
  * Journal payload: the numeric outcome only. The pattern itself is a
- * pure function of the task seed and is regenerated on replay.
+ * pure function of the task seed and is regenerated on replay. The
+ * kind is "fuzz2" — pre-metrics "fuzz" journals are discarded via the
+ * kind mismatch.
  */
 std::string
 serializeFuzzTask(const FuzzTaskResult &r)
 {
     std::ostringstream out;
     out << r.flips << " " << r.dramAccesses << " "
-        << encodeDouble(r.simTimeNs);
+        << encodeDouble(r.simTimeNs) << " " << r.acts << " "
+        << r.trrRefreshes << " " << r.rfmCommands;
     return out.str();
 }
 
@@ -75,7 +84,8 @@ parseFuzzTask(const std::string &payload, FuzzTaskResult &r)
 {
     std::istringstream in(payload);
     std::string sim_hex;
-    if (!(in >> r.flips >> r.dramAccesses >> sim_hex))
+    if (!(in >> r.flips >> r.dramAccesses >> sim_hex >> r.acts
+          >> r.trrRefreshes >> r.rfmCommands))
         return false;
     auto sim = decodeDouble(sim_hex);
     if (!sim)
@@ -89,8 +99,10 @@ parseFuzzTask(const std::string &payload, FuzzTaskResult &r)
 FuzzResult
 fuzzCampaign(const SystemSpec &spec, const HammerConfig &cfg,
              const FuzzParams &params, std::uint64_t seed,
-             ParallelStats *stats)
+             ParallelStats *stats, MetricsRegistry *metrics,
+             std::vector<TraceEvent> *trace)
 {
+    const bool tracing = spec.trace.enabled;
     std::shared_ptr<TaskJournal> journal;
     if (!params.checkpointPath.empty()) {
         std::uint64_t key = campaignKey(spec, cfg, seed);
@@ -103,7 +115,7 @@ fuzzCampaign(const SystemSpec &spec, const HammerConfig &cfg,
         key = hashCombine(key, params.patternParams.maxFreqLog2);
         key = hashCombine(key, params.patternParams.maxAmpLog2);
         journal = std::make_shared<TaskJournal>(params.checkpointPath,
-                                                key, "fuzz");
+                                                key, "fuzz2");
     }
     std::atomic<std::uint64_t> restored{0};
 
@@ -113,7 +125,8 @@ fuzzCampaign(const SystemSpec &spec, const HammerConfig &cfg,
         FuzzTaskResult r;
         r.pattern = HammerPattern::randomNonUniform(pattern_rng,
                                                     params.patternParams);
-        if (journal) {
+        // Tracing bypasses restores: a restored task has no events.
+        if (journal && !tracing) {
             if (auto payload = journal->lookup(i)) {
                 if (parseFuzzTask(*payload, r)) {
                     restored.fetch_add(1, std::memory_order_relaxed);
@@ -123,6 +136,11 @@ fuzzCampaign(const SystemSpec &spec, const HammerConfig &cfg,
         }
         MemorySystem sys = spec.instantiate(task_seed);
         HammerSession session(sys, task_seed);
+        Tracer tracer(spec.trace);
+        if (tracing) {
+            tracer.setTid(static_cast<std::uint16_t>(i));
+            sys.attachTracer(&tracer);
+        }
         Ns t0 = sys.now();
         for (unsigned l = 0; l < params.locationsPerPattern; ++l) {
             HammerLocation loc = session.randomLocation(r.pattern, cfg);
@@ -131,6 +149,13 @@ fuzzCampaign(const SystemSpec &spec, const HammerConfig &cfg,
             r.dramAccesses += out.perf.dramAccesses;
         }
         r.simTimeNs = sys.now() - t0;
+        r.acts = sys.dimm().totalActs();
+        r.trrRefreshes = sys.dimm().trrRefreshCount();
+        r.rfmCommands = sys.dimm().rfmCommandCount();
+        if (tracing) {
+            r.events = tracer.events();
+            sys.attachTracer(nullptr);
+        }
         if (journal)
             journal->record(i, serializeFuzzTask(r));
         return r;
@@ -138,8 +163,12 @@ fuzzCampaign(const SystemSpec &spec, const HammerConfig &cfg,
 
     auto tasks = parallelMapOrdered(params.numPatterns, params.jobs,
                                     task, stats);
-    if (stats)
+    if (stats) {
         stats->tasksRestored = restored.load();
+        // Restored tasks did no simulation work; tasksRun counts only
+        // tasks actually executed.
+        stats->tasksRun -= stats->tasksRestored;
+    }
 
     // Merge in task-index order: the serial reduction semantics
     // (earliest strict maximum wins the best-pattern slot) hold for
@@ -156,7 +185,18 @@ fuzzCampaign(const SystemSpec &spec, const HammerConfig &cfg,
         }
         res.dramAccesses += t.dramAccesses;
         res.simTimeNs += t.simTimeNs;
+        if (metrics) {
+            metrics->add("dram.acts", t.acts);
+            metrics->add("dram.refreshes.trr", t.trrRefreshes);
+            metrics->add("dram.refreshes.rfm", t.rfmCommands);
+            metrics->add("cpu.dram_accesses", t.dramAccesses);
+            metrics->add("hammer.flips", t.flips);
+        }
+        if (trace)
+            trace->insert(trace->end(), t.events.begin(), t.events.end());
     }
+    if (metrics)
+        metrics->add("campaign.patterns", params.numPatterns);
     if (stats)
         stats->simNs = res.simTimeNs;
     return res;

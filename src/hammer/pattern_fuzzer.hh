@@ -23,6 +23,7 @@
 
 #include "common/stats.hh"
 #include "hammer/hammer_session.hh"
+#include "trace/metrics.hh"
 
 namespace rho
 {
@@ -78,10 +79,16 @@ class PatternFuzzer
  * how many threads run it.
  *
  * @param stats optional per-campaign scheduling/timing counters.
+ * @param metrics optional unified counters (see sweepCampaign);
+ *        totals are identical for any `jobs` value.
+ * @param trace optional merged event stream; filled only when
+ *        spec.trace.enabled (see sweepCampaign for semantics).
  */
 FuzzResult fuzzCampaign(const SystemSpec &spec, const HammerConfig &cfg,
                         const FuzzParams &params, std::uint64_t seed,
-                        ParallelStats *stats = nullptr);
+                        ParallelStats *stats = nullptr,
+                        MetricsRegistry *metrics = nullptr,
+                        std::vector<TraceEvent> *trace = nullptr);
 
 } // namespace rho
 

@@ -78,9 +78,21 @@ struct SweepTaskResult
     std::uint64_t flips = 0;
     Ns simTimeNs = 0.0;
     std::vector<FlipRecord> flipList;
+    // Device/core totals for the unified metrics (journaled so a
+    // checkpoint-restored task contributes identical counters).
+    std::uint64_t acts = 0;
+    std::uint64_t trrRefreshes = 0;
+    std::uint64_t rfmCommands = 0;
+    std::uint64_t dramAccesses = 0;
+    // Per-task trace; never journaled (tracing bypasses restores).
+    std::vector<TraceEvent> events;
 };
 
-/** One journal line: flips, sim time, then 5 fields per flip record. */
+/**
+ * One journal line: flips, sim time, flip records, then the metric
+ * totals. The journal kind is "sweep2" — the "sweep" format without
+ * metrics does not parse and is discarded via the kind mismatch.
+ */
 std::string
 serializeSweepTask(const SweepTaskResult &r)
 {
@@ -91,6 +103,8 @@ serializeSweepTask(const SweepTaskResult &r)
         out << " " << f.bank << " " << f.row << " " << f.bitOffset << " "
             << (f.toOne ? 1 : 0) << " " << encodeDouble(f.when);
     }
+    out << " " << r.acts << " " << r.trrRefreshes << " " << r.rfmCommands
+        << " " << r.dramAccesses;
     return out.str();
 }
 
@@ -121,6 +135,9 @@ parseSweepTask(const std::string &payload)
         f.when = *when;
         r.flipList.push_back(f);
     }
+    if (!(in >> r.acts >> r.trrRefreshes >> r.rfmCommands
+          >> r.dramAccesses))
+        return std::nullopt;
     return r;
 }
 
@@ -129,9 +146,11 @@ parseSweepTask(const std::string &payload)
 SweepResult
 sweepCampaign(const SystemSpec &spec, const HammerPattern &pattern,
               const HammerConfig &cfg, const SweepParams &params,
-              std::uint64_t seed, ParallelStats *stats)
+              std::uint64_t seed, ParallelStats *stats,
+              MetricsRegistry *metrics, std::vector<TraceEvent> *trace)
 {
     const DimmGeometry &geom = spec.dimm->geom;
+    const bool tracing = spec.trace.enabled;
 
     std::shared_ptr<TaskJournal> journal;
     if (!params.checkpointPath.empty()) {
@@ -139,12 +158,14 @@ sweepCampaign(const SystemSpec &spec, const HammerPattern &pattern,
         key = hashCombine(key, params.numLocations);
         key = hashCombine(key, pattern.id());
         journal = std::make_shared<TaskJournal>(params.checkpointPath,
-                                                key, "sweep");
+                                                key, "sweep2");
     }
     std::atomic<std::uint64_t> restored{0};
 
     auto task = [&](unsigned i) -> SweepTaskResult {
-        if (journal) {
+        // A journal restore has no event stream, so a tracing run
+        // recomputes every task to keep the merged trace complete.
+        if (journal && !tracing) {
             if (auto payload = journal->lookup(i)) {
                 if (auto r = parseSweepTask(*payload)) {
                     restored.fetch_add(1, std::memory_order_relaxed);
@@ -155,6 +176,11 @@ sweepCampaign(const SystemSpec &spec, const HammerPattern &pattern,
         std::uint64_t task_seed = hashCombine(seed, i);
         MemorySystem sys = spec.instantiate(task_seed);
         HammerSession session(sys, task_seed);
+        Tracer tracer(spec.trace);
+        if (tracing) {
+            tracer.setTid(static_cast<std::uint16_t>(i));
+            sys.attachTracer(&tracer);
+        }
         HammerLocation loc = sweepLocationAt(geom, pattern, seed, i);
 
         Ns t0 = sys.now();
@@ -163,6 +189,14 @@ sweepCampaign(const SystemSpec &spec, const HammerPattern &pattern,
         r.flips = out.flips;
         r.simTimeNs = sys.now() - t0;
         r.flipList = std::move(out.flipList);
+        r.acts = sys.dimm().totalActs();
+        r.trrRefreshes = sys.dimm().trrRefreshCount();
+        r.rfmCommands = sys.dimm().rfmCommandCount();
+        r.dramAccesses = out.perf.dramAccesses;
+        if (tracing)
+            r.events = tracer.events();
+        if (tracing)
+            sys.attachTracer(nullptr);
         if (journal)
             journal->record(i, serializeSweepTask(r));
         return r;
@@ -170,8 +204,12 @@ sweepCampaign(const SystemSpec &spec, const HammerPattern &pattern,
 
     auto tasks = parallelMapOrdered(params.numLocations, params.jobs,
                                     task, stats);
-    if (stats)
+    if (stats) {
         stats->tasksRestored = restored.load();
+        // Restored tasks did no simulation work; tasksRun counts only
+        // tasks actually executed.
+        stats->tasksRun -= stats->tasksRestored;
+    }
 
     // Merge in task-index order: identical output for any job count.
     SweepResult res;
@@ -182,7 +220,18 @@ sweepCampaign(const SystemSpec &spec, const HammerPattern &pattern,
         res.cumulativeTimeNs.push_back(res.simTimeNs);
         for (const auto &f : t.flipList)
             res.flipList.push_back(f);
+        if (metrics) {
+            metrics->add("dram.acts", t.acts);
+            metrics->add("dram.refreshes.trr", t.trrRefreshes);
+            metrics->add("dram.refreshes.rfm", t.rfmCommands);
+            metrics->add("cpu.dram_accesses", t.dramAccesses);
+            metrics->add("hammer.flips", t.flips);
+        }
+        if (trace)
+            trace->insert(trace->end(), t.events.begin(), t.events.end());
     }
+    if (metrics)
+        metrics->add("campaign.locations", params.numLocations);
     if (stats)
         stats->simNs = res.simTimeNs;
     return res;

@@ -23,6 +23,7 @@
 
 #include "common/stats.hh"
 #include "hammer/hammer_session.hh"
+#include "trace/metrics.hh"
 
 namespace rho
 {
@@ -88,12 +89,25 @@ SweepResult sweep(HammerSession &session, const HammerPattern &pattern,
  * job count.
  *
  * @param stats optional per-campaign scheduling/timing counters.
+ * @param metrics optional unified counters ("dram.acts",
+ *        "dram.refreshes.trr", "dram.refreshes.rfm",
+ *        "cpu.dram_accesses", "hammer.flips", "campaign.locations",
+ *        plus "parallel.*"); totals are merged in task order and are
+ *        identical for any `jobs` value and across checkpoint resumes.
+ * @param trace optional merged event stream. Filled only when
+ *        spec.trace.enabled: each task records into its own Tracer
+ *        (tid = task index) and streams concatenate in task order, so
+ *        the result is byte-identical for any `jobs` value. Tracing
+ *        bypasses checkpoint-journal restores (a restored task has no
+ *        events), keeping the stream complete.
  */
 SweepResult sweepCampaign(const SystemSpec &spec,
                           const HammerPattern &pattern,
                           const HammerConfig &cfg,
                           const SweepParams &params, std::uint64_t seed,
-                          ParallelStats *stats = nullptr);
+                          ParallelStats *stats = nullptr,
+                          MetricsRegistry *metrics = nullptr,
+                          std::vector<TraceEvent> *trace = nullptr);
 
 /**
  * Fingerprint of everything that determines a campaign task's result:

@@ -15,6 +15,7 @@
 #include "dram/controller.hh"
 #include "fault/fault_injector.hh"
 #include "mapping/mapping_presets.hh"
+#include "trace/tracer.hh"
 
 namespace rho
 {
@@ -78,13 +79,34 @@ class MemorySystem : public MemoryBackend
     attachFaultInjector(FaultInjector *inj)
     {
         injector = inj;
-        if (inj)
+        if (inj) {
             inj->bindClock(&clock);
+            inj->setTracer(tr);
+        }
         mc->dimm().setFaultInjector(inj);
     }
 
     /** Attached injector, or nullptr when running fault-free. */
     FaultInjector *faultInjector() const { return injector; }
+
+    /**
+     * Attach a tracer to this machine: wires the DIMM (and through it
+     * the TRR sampler) and any already-attached fault injector. Order
+     * relative to attachFaultInjector does not matter — whichever is
+     * attached second picks the other up. Pass nullptr to detach. The
+     * tracer must outlive the system or be detached first.
+     */
+    void
+    attachTracer(Tracer *t)
+    {
+        tr = t;
+        mc->dimm().setTracer(t);
+        if (injector)
+            injector->setTracer(t);
+    }
+
+    /** Attached tracer, or nullptr when not tracing. */
+    Tracer *tracer() const { return tr; }
 
     /** Functional data path at the current clock. */
     std::uint8_t readByte(PhysAddr pa) { return mc->readByte(pa, clock); }
@@ -99,6 +121,7 @@ class MemorySystem : public MemoryBackend
     const ArchParams *params;
     std::unique_ptr<MemoryController> mc;
     FaultInjector *injector = nullptr;
+    Tracer *tr = nullptr;
     Ns clock = 0.0;
 };
 
@@ -117,6 +140,7 @@ struct SystemSpec
     const DimmProfile *dimm = nullptr;
     TrrConfig trr{};
     RfmConfig rfm{};
+    TraceConfig trace{}; //!< campaign workers trace per-task when enabled
 
     SystemSpec() = default;
     SystemSpec(Arch arch_, const DimmProfile &dimm_,

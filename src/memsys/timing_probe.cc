@@ -64,6 +64,9 @@ TimingProbe::measurePairRobust(PhysAddr a, PhysAddr b, unsigned rounds,
         sys.advance(backoff);
         if (retry)
             retry->recordRetry(backoff);
+        RHO_TRACE(sys.tracer(), sys.now(), EventKind::Retry, 0,
+                  static_cast<std::uint32_t>(SimPhase::Measure), 0,
+                  traceBits(backoff));
         backoff = std::min(backoff * cfg.backoffFactor, cfg.maxBackoffNs);
         samples.push_back(measurePair(a, b, sub_rounds));
     }

@@ -36,12 +36,12 @@ BuddyAllocator::BuddyAllocator(std::uint64_t mem_bytes,
 }
 
 std::optional<PhysAddr>
-BuddyAllocator::alloc(unsigned order)
+BuddyAllocator::alloc(unsigned order, bool fault_exempt)
 {
     if (order > maxOrder)
         return std::nullopt;
 
-    if (injector) {
+    if (injector && !fault_exempt) {
         if (injector->fragmentSpike())
             fragmentationSpike();
         if (injector->allocFails())

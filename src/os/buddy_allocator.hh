@@ -44,8 +44,18 @@ class BuddyAllocator
     BuddyAllocator(std::uint64_t mem_bytes, double reserved_frac = 0.03,
                    std::uint64_t seed = 0xb0dd1);
 
-    /** Allocate a 2^order-page block; lowest-address-first policy. */
-    std::optional<PhysAddr> alloc(unsigned order);
+    /**
+     * Allocate a 2^order-page block; lowest-address-first policy.
+     *
+     * @param fault_exempt skip the attached fault injector. Rollback
+     *        paths that must reclaim a specific just-freed block use
+     *        this: an injected failure there would corrupt allocator
+     *        bookkeeping rather than model pressure, and the injected
+     *        fault was already charged to the operation being rolled
+     *        back.
+     */
+    std::optional<PhysAddr> alloc(unsigned order,
+                                  bool fault_exempt = false);
 
     /** Allocate one 4 KiB page. */
     std::optional<PhysAddr> allocPage() { return alloc(0); }

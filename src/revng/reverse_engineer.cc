@@ -8,6 +8,7 @@
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "revng/threshold.hh"
+#include "trace/tracer.hh"
 
 namespace rho
 {
@@ -147,6 +148,8 @@ RhoReverseEngineer::run()
 
     MappingRecovery out;
     measureRetry = RetryStats{};
+    RHO_TRACE(sys.tracer(), t0, EventKind::PhaseBegin, 0,
+              static_cast<std::uint32_t>(SimPhase::ReverseEng), 0, 0);
 
     // Charge the (dominant) setup cost: allocating ~70% of physical
     // memory in 4 KiB pages and reading their pagemap entries.
@@ -192,6 +195,9 @@ RhoReverseEngineer::run()
         out.simTimeNs = sys.now() - t0;
         out.timedAccesses = probe.accessCount() - acc0;
         out.measureRetry = measureRetry;
+        RHO_TRACE(sys.tracer(), sys.now(), EventKind::PhaseEnd, 0,
+                  static_cast<std::uint32_t>(SimPhase::ReverseEng), 0,
+                  0);
         return out;
     }
 
@@ -258,6 +264,10 @@ RhoReverseEngineer::run()
     out.simTimeNs = sys.now() - t0;
     out.timedAccesses = probe.accessCount() - acc0;
     out.measureRetry = measureRetry;
+    RHO_TRACE(sys.tracer(), sys.now(), EventKind::PhaseEnd,
+              out.success ? 1 : 0,
+              static_cast<std::uint32_t>(SimPhase::ReverseEng),
+              out.bankFns.size(), out.rowBits.size());
     return out;
 }
 

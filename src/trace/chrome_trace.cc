@@ -1,0 +1,110 @@
+#include "trace/chrome_trace.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+namespace rho
+{
+
+namespace
+{
+
+// Fixed-format µs timestamp: deterministic text for deterministic
+// event streams (ostream double formatting is locale-sensitive).
+void
+appendTs(std::string &out, Ns when)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", when / 1000.0);
+    out += buf;
+}
+
+void
+appendArgs(std::string &out, const TraceEvent &ev)
+{
+    char buf[160];
+    switch (categoryOf(ev.kind)) {
+      case CatDram:
+      case CatTrr:
+      case CatDisturb:
+      case CatFlip:
+        std::snprintf(buf, sizeof(buf),
+                      "\"bank\":%" PRIu32 ",\"row\":%" PRIu64
+                      ",\"c\":%" PRIu64 ",\"flags\":%u",
+                      ev.a, ev.b, ev.c, ev.flags);
+        break;
+      case CatPhase:
+        std::snprintf(buf, sizeof(buf),
+                      "\"phase\":\"%s\",\"b\":%" PRIu64 ",\"c\":%" PRIu64
+                      ",\"flags\":%u",
+                      simPhaseName(static_cast<SimPhase>(ev.a)), ev.b,
+                      ev.c, ev.flags);
+        break;
+      default:
+        std::snprintf(buf, sizeof(buf),
+                      "\"a\":%" PRIu32 ",\"b\":%" PRIu64 ",\"c\":%" PRIu64
+                      ",\"flags\":%u",
+                      ev.a, ev.b, ev.c, ev.flags);
+        break;
+    }
+    out += buf;
+}
+
+} // namespace
+
+std::string
+chromeTraceJson(const std::vector<TraceEvent> &events)
+{
+    std::string out;
+    out.reserve(events.size() * 140 + 16);
+    out += "[\n";
+    bool first = true;
+    for (const TraceEvent &ev : events) {
+        const bool isBegin = ev.kind == EventKind::PhaseBegin;
+        const bool isEnd = ev.kind == EventKind::PhaseEnd;
+        const char *ph = isBegin ? "B" : isEnd ? "E" : "i";
+        const char *name = (isBegin || isEnd)
+                               ? simPhaseName(static_cast<SimPhase>(ev.a))
+                               : eventKindName(ev.kind);
+
+        if (!first)
+            out += ",\n";
+        first = false;
+
+        out += "{\"name\":\"";
+        out += name;
+        out += "\",\"cat\":\"";
+        out += categoryName(categoryOf(ev.kind));
+        out += "\",\"ph\":\"";
+        out += ph;
+        out += "\",\"ts\":";
+        appendTs(out, ev.when);
+        out += ",\"pid\":1,\"tid\":";
+        out += std::to_string(ev.tid);
+        if (!isEnd) {
+            if (!isBegin)
+                out += ",\"s\":\"t\""; // instant scope: thread
+            out += ",\"args\":{";
+            appendArgs(out, ev);
+            out += "}";
+        }
+        out += "}";
+    }
+    out += "\n]\n";
+    return out;
+}
+
+bool
+chromeTraceWrite(const std::string &path,
+                 const std::vector<TraceEvent> &events)
+{
+    std::ofstream f(path, std::ios::trunc);
+    if (!f)
+        return false;
+    const std::string doc = chromeTraceJson(events);
+    f.write(doc.data(), static_cast<std::streamsize>(doc.size()));
+    return f.good();
+}
+
+} // namespace rho

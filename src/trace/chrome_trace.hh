@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Chrome `trace_event` JSON sink.
+ *
+ * Produces the JSON Array Format understood by Perfetto
+ * (https://ui.perfetto.dev) and Chrome's legacy `about://tracing`:
+ * PhaseBegin/PhaseEnd become duration ("B"/"E") slices, everything
+ * else becomes an instant ("i") event. Timestamps are simulated
+ * nanoseconds converted to microseconds with fixed three-decimal
+ * formatting, so the text output is as deterministic as the event
+ * stream itself. Event tids map to Perfetto tracks, so a parallel
+ * campaign renders one lane per task.
+ */
+
+#ifndef RHO_TRACE_CHROME_TRACE_HH
+#define RHO_TRACE_CHROME_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/event.hh"
+
+namespace rho
+{
+
+/** Render events as a Chrome trace_event JSON array document. */
+std::string chromeTraceJson(const std::vector<TraceEvent> &events);
+
+/** Write chromeTraceJson(events) to `path`; false on I/O failure. */
+bool chromeTraceWrite(const std::string &path,
+                      const std::vector<TraceEvent> &events);
+
+} // namespace rho
+
+#endif // RHO_TRACE_CHROME_TRACE_HH

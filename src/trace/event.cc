@@ -1,0 +1,72 @@
+#include "trace/event.hh"
+
+namespace rho
+{
+
+const char *
+eventKindName(EventKind k)
+{
+    switch (k) {
+      case EventKind::InstrRetire: return "instr_retire";
+      case EventKind::InstrStall: return "instr_stall";
+      case EventKind::PrefetchIssue: return "prefetch_issue";
+      case EventKind::PrefetchDrop: return "prefetch_drop";
+      case EventKind::CacheHit: return "cache_hit";
+      case EventKind::CacheMiss: return "cache_miss";
+      case EventKind::PipelineFlush: return "pipeline_flush";
+      case EventKind::DramAct: return "dram_act";
+      case EventKind::DramRowHit: return "dram_row_hit";
+      case EventKind::DramPre: return "dram_pre";
+      case EventKind::DisturbReset: return "disturb_reset";
+      case EventKind::TrrSample: return "trr_sample";
+      case EventKind::TrrEvict: return "trr_evict";
+      case EventKind::TrrTargetedRefresh: return "trr_targeted_refresh";
+      case EventKind::PtrrRefresh: return "ptrr_refresh";
+      case EventKind::RfmRefresh: return "rfm_refresh";
+      case EventKind::Disturb: return "disturb";
+      case EventKind::BitFlip: return "bit_flip";
+      case EventKind::FlipSuppressed: return "flip_suppressed";
+      case EventKind::SpuriousRefresh: return "spurious_refresh";
+      case EventKind::FaultPhaseEnter: return "fault_phase_enter";
+      case EventKind::FaultPhaseExit: return "fault_phase_exit";
+      case EventKind::FaultDelivered: return "fault_delivered";
+      case EventKind::PhaseBegin: return "phase_begin";
+      case EventKind::PhaseEnd: return "phase_end";
+      case EventKind::AttackDecision: return "attack_decision";
+      case EventKind::Retry: return "retry";
+    }
+    return "unknown";
+}
+
+const char *
+categoryName(TraceCategory c)
+{
+    switch (c) {
+      case CatCpu: return "cpu";
+      case CatDram: return "dram";
+      case CatTrr: return "trr";
+      case CatDisturb: return "disturb";
+      case CatFlip: return "flip";
+      case CatFault: return "fault";
+      case CatPhase: return "phase";
+      default: return "mixed";
+    }
+}
+
+const char *
+simPhaseName(SimPhase p)
+{
+    switch (p) {
+      case SimPhase::Hammer: return "hammer";
+      case SimPhase::Verify: return "verify";
+      case SimPhase::Template: return "template";
+      case SimPhase::Massage: return "massage";
+      case SimPhase::Rehammer: return "rehammer";
+      case SimPhase::ReverseEng: return "reverse_eng";
+      case SimPhase::Measure: return "measure";
+      case SimPhase::NopTune: return "nop_tune";
+    }
+    return "unknown";
+}
+
+} // namespace rho

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Typed simulation events: the vocabulary of the cross-layer trace.
+ *
+ * Every event is a fixed-size 32-byte POD stamped with simulated time,
+ * so an event stream is a pure function of the simulation inputs —
+ * byte-identical across runs and across `--jobs` values — and can be
+ * byte-compared against committed golden traces. Events carry three
+ * generic payload fields (`a`, `b`, `c`) whose meaning depends on the
+ * kind (documented per enumerator); doubles travel bit-cast through
+ * `c` so the stream stays bit-exact.
+ */
+
+#ifndef RHO_TRACE_EVENT_HH
+#define RHO_TRACE_EVENT_HH
+
+#include <bit>
+#include <cstdint>
+#include <type_traits>
+
+#include "common/types.hh"
+
+namespace rho
+{
+
+/**
+ * Event taxonomy. The `a`/`b`/`c` columns document the payload layout;
+ * `flags` carries a small per-kind discriminant (flip direction,
+ * refresh source, success bit).
+ */
+enum class EventKind : std::uint8_t
+{
+    // ---- CPU core (category Cpu) ------------------------------------
+    InstrRetire,     //!< a=op kind, c=count (NOP runs fold into one)
+    InstrStall,      //!< a=resource (0 ROB, 1 LQ, 2 SB), c=stall ns bits
+    PrefetchIssue,   //!< b=phys addr
+    PrefetchDrop,    //!< b=phys addr (prefetch queue full)
+    CacheHit,        //!< b=phys addr (served by a present/stale line)
+    CacheMiss,       //!< b=phys addr (demand miss reaching DRAM)
+    PipelineFlush,   //!< branch mispredict; a=1 obfuscated, 0 loop
+
+    // ---- DRAM device (category Dram) --------------------------------
+    DramAct,         //!< a=bank, b=row
+    DramRowHit,      //!< a=bank, b=row (CAS on the open row)
+    DramPre,         //!< a=bank, b=row being closed (conflict precharge)
+    DisturbReset,    //!< a=bank, b=row, c=old disturb bits,
+                     //!< flags=ResetSource; emitted only when
+                     //!< accumulated disturbance was actually dropped
+
+    // ---- Mitigations (category Trr) ---------------------------------
+    TrrSample,       //!< a=bank, b=row, c=counter value after sampling
+    TrrEvict,        //!< a=bank, b=row (Misra-Gries counter death)
+    TrrTargetedRefresh, //!< a=bank, b=aggressor row (per tREFI tick)
+    PtrrRefresh,     //!< a=bank, b=row (controller pTRR immediate)
+    RfmRefresh,      //!< a=bank, b=row (DDR5 RFM protected row)
+
+    // ---- Disturb accumulation (category Disturb; hot) ---------------
+    Disturb,         //!< a=bank, b=row, c=added weight bits
+
+    // ---- Flip machinery (category Flip) -----------------------------
+    BitFlip,         //!< a=bank, b=row, c=bit offset, flags=toOne
+    FlipSuppressed,  //!< a=bank, b=row (injected non-reproduction)
+    SpuriousRefresh, //!< a=bank, b=row (injected TRR-style refresh)
+
+    // ---- Fault injection (category Fault) ---------------------------
+    FaultPhaseEnter, //!< schedule became active at `when`
+    FaultPhaseExit,  //!< schedule became inactive at `when`
+    FaultDelivered,  //!< a=FaultChannel
+
+    // ---- Attack / experiment structure (category Phase) -------------
+    PhaseBegin,      //!< a=SimPhase
+    PhaseEnd,        //!< a=SimPhase, c=outcome count (flips, ...)
+    AttackDecision,  //!< a=SimPhase, b=FailureCode, flags=success
+    Retry,           //!< a=SimPhase, c=backoff ns bits
+};
+
+/** Number of distinct event kinds (array sizing). */
+constexpr unsigned numEventKinds =
+    static_cast<unsigned>(EventKind::Retry) + 1;
+
+/** Why a row's accumulated disturbance was dropped (DisturbReset). */
+enum class ResetSource : std::uint8_t
+{
+    AutoRefresh = 0,  //!< periodic tREFW sweep reached the row
+    TrrNeighbor = 1,  //!< TRR targeted refresh of an adjacent aggressor
+    RfmNeighbor = 2,  //!< DDR5 RFM protection
+    Spurious = 3,     //!< injected spurious refresh
+    SelfAct = 4,      //!< the row itself was activated
+    DataWrite = 5,    //!< functional write/fill restored the row
+    DataRead = 6,     //!< functional read activated the row
+};
+
+/** Which injector channel delivered a fault (FaultDelivered). */
+enum class FaultChannel : std::uint8_t
+{
+    Timing = 0,
+    FlipSuppress = 1,
+    SpuriousRefresh = 2,
+    AllocFail = 3,
+    FragmentSpike = 4,
+};
+
+/** Experiment phases bracketed by PhaseBegin/PhaseEnd. */
+enum class SimPhase : std::uint8_t
+{
+    Hammer = 0,      //!< one kernel execution on the CPU model
+    Verify = 1,      //!< victim-row diff after a hammer pass
+    Template = 2,    //!< exploit templating sweep
+    Massage = 3,     //!< page-table massage
+    Rehammer = 4,    //!< flip reproduction on live data
+    ReverseEng = 5,  //!< DRAM mapping reverse engineering
+    Measure = 6,     //!< robust timing measurement
+    NopTune = 7,     //!< counter-speculation NOP tuning
+};
+
+/** Coarse event groups; the tracer filters on a category bitmask. */
+enum TraceCategory : std::uint32_t
+{
+    CatCpu = 1u << 0,
+    CatDram = 1u << 1,
+    CatTrr = 1u << 2,
+    CatDisturb = 1u << 3, //!< several events per ACT — the hot one
+    CatFlip = 1u << 4,
+    CatFault = 1u << 5,
+    CatPhase = 1u << 6,
+
+    CatAll = 0x7fu,
+    /** Everything except per-op CPU and per-ACT disturb chatter. */
+    CatDefault = CatAll & ~(CatCpu | CatDisturb),
+};
+
+/** Category of one event kind. */
+constexpr TraceCategory
+categoryOf(EventKind k)
+{
+    switch (k) {
+      case EventKind::InstrRetire:
+      case EventKind::InstrStall:
+      case EventKind::PrefetchIssue:
+      case EventKind::PrefetchDrop:
+      case EventKind::CacheHit:
+      case EventKind::CacheMiss:
+      case EventKind::PipelineFlush:
+        return CatCpu;
+      case EventKind::DramAct:
+      case EventKind::DramRowHit:
+      case EventKind::DramPre:
+      case EventKind::DisturbReset:
+        return CatDram;
+      case EventKind::TrrSample:
+      case EventKind::TrrEvict:
+      case EventKind::TrrTargetedRefresh:
+      case EventKind::PtrrRefresh:
+      case EventKind::RfmRefresh:
+        return CatTrr;
+      case EventKind::Disturb:
+        return CatDisturb;
+      case EventKind::BitFlip:
+      case EventKind::FlipSuppressed:
+      case EventKind::SpuriousRefresh:
+        return CatFlip;
+      case EventKind::FaultPhaseEnter:
+      case EventKind::FaultPhaseExit:
+      case EventKind::FaultDelivered:
+        return CatFault;
+      case EventKind::PhaseBegin:
+      case EventKind::PhaseEnd:
+      case EventKind::AttackDecision:
+      case EventKind::Retry:
+        return CatPhase;
+    }
+    return CatPhase; // unreachable
+}
+
+/**
+ * One trace record. 32 bytes, no padding, trivially copyable — the
+ * golden binary format is the raw in-memory image (host endianness;
+ * all supported targets are little-endian).
+ */
+struct TraceEvent
+{
+    Ns when = 0.0;            //!< simulated time, ns
+    EventKind kind = EventKind::InstrRetire;
+    std::uint8_t flags = 0;   //!< per-kind discriminant
+    std::uint16_t tid = 0;    //!< logical track (campaign task index)
+    std::uint32_t a = 0;      //!< bank / op kind / phase id
+    std::uint64_t b = 0;      //!< row / physical address / code
+    std::uint64_t c = 0;      //!< count / bit offset / double bits
+};
+
+static_assert(sizeof(TraceEvent) == 32, "golden format is 32 B/event");
+static_assert(std::is_trivially_copyable_v<TraceEvent>);
+
+/** Bit-exact double transport through TraceEvent::c. */
+constexpr std::uint64_t
+traceBits(double x)
+{
+    return std::bit_cast<std::uint64_t>(x);
+}
+
+/** Inverse of traceBits. */
+constexpr double
+traceReal(std::uint64_t bits)
+{
+    return std::bit_cast<double>(bits);
+}
+
+/** Stable display name of an event kind ("dram_act", "bit_flip", ...). */
+const char *eventKindName(EventKind k);
+
+/** Stable display name of a category ("cpu", "dram", ...). */
+const char *categoryName(TraceCategory c);
+
+/** Stable display name of a phase ("hammer", "template", ...). */
+const char *simPhaseName(SimPhase p);
+
+} // namespace rho
+
+#endif // RHO_TRACE_EVENT_HH

@@ -1,0 +1,98 @@
+#include "trace/golden.hh"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace rho
+{
+
+namespace
+{
+
+constexpr char goldenMagic[8] = {'r', 'h', 'o', 't', 'r', 'a', 'c', 'e'};
+constexpr std::uint32_t goldenVersion = 1;
+constexpr std::size_t goldenHeaderBytes = 24;
+
+} // namespace
+
+std::string
+goldenSerialize(const std::vector<TraceEvent> &events)
+{
+    std::string out;
+    out.reserve(goldenHeaderBytes + events.size() * sizeof(TraceEvent));
+    out.append(goldenMagic, sizeof(goldenMagic));
+
+    std::uint32_t version = goldenVersion;
+    std::uint32_t reserved = 0;
+    std::uint64_t count = events.size();
+    out.append(reinterpret_cast<const char *>(&version), sizeof(version));
+    out.append(reinterpret_cast<const char *>(&reserved), sizeof(reserved));
+    out.append(reinterpret_cast<const char *>(&count), sizeof(count));
+    if (!events.empty())
+        out.append(reinterpret_cast<const char *>(events.data()),
+                   events.size() * sizeof(TraceEvent));
+    return out;
+}
+
+bool
+goldenParse(const std::string &bytes, std::vector<TraceEvent> &out)
+{
+    out.clear();
+    if (bytes.size() < goldenHeaderBytes)
+        return false;
+    if (std::memcmp(bytes.data(), goldenMagic, sizeof(goldenMagic)) != 0)
+        return false;
+
+    std::uint32_t version = 0;
+    std::uint64_t count = 0;
+    std::memcpy(&version, bytes.data() + 8, sizeof(version));
+    std::memcpy(&count, bytes.data() + 16, sizeof(count));
+    if (version != goldenVersion)
+        return false;
+    if (bytes.size() != goldenHeaderBytes + count * sizeof(TraceEvent))
+        return false;
+
+    out.resize(count);
+    if (count)
+        std::memcpy(out.data(), bytes.data() + goldenHeaderBytes,
+                    count * sizeof(TraceEvent));
+    return true;
+}
+
+bool
+goldenWrite(const std::string &path, const std::vector<TraceEvent> &events)
+{
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    if (!f)
+        return false;
+    const std::string image = goldenSerialize(events);
+    f.write(image.data(), static_cast<std::streamsize>(image.size()));
+    return f.good();
+}
+
+bool
+goldenReadFile(const std::string &path, std::string &bytes)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f)
+        return false;
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    bytes = ss.str();
+    return true;
+}
+
+std::uint64_t
+goldenDigest(const std::vector<TraceEvent> &events)
+{
+    const std::string image = goldenSerialize(events);
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char ch : image) {
+        h ^= ch;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+} // namespace rho

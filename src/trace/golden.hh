@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Compact binary golden-trace format.
+ *
+ * Layout (little-endian host image):
+ *
+ *     offset  size  field
+ *     0       8     magic "rhotrace"
+ *     8       4     format version (currently 1)
+ *     12      4     reserved (0)
+ *     16      8     event count N
+ *     24      32*N  raw TraceEvent records
+ *
+ * Records are the in-memory image of TraceEvent (32 B, no padding —
+ * enforced by static_assert), so serialization is bit-exact and a
+ * byte-compare of two golden files is exactly an event-stream
+ * equality check. Goldens are committed under tests/goldens/ and
+ * regenerated with `test_trace --regen-goldens`.
+ */
+
+#ifndef RHO_TRACE_GOLDEN_HH
+#define RHO_TRACE_GOLDEN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/event.hh"
+
+namespace rho
+{
+
+/** Serialize events to the golden binary image (header + records). */
+std::string goldenSerialize(const std::vector<TraceEvent> &events);
+
+/**
+ * Parse a golden image back into events. Returns false (and leaves
+ * `out` empty) on a bad magic, version, or truncated payload.
+ */
+bool goldenParse(const std::string &bytes, std::vector<TraceEvent> &out);
+
+/** Write a golden file; returns false on I/O failure. */
+bool goldenWrite(const std::string &path,
+                 const std::vector<TraceEvent> &events);
+
+/** Read a whole file into `bytes`; returns false if unreadable. */
+bool goldenReadFile(const std::string &path, std::string &bytes);
+
+/**
+ * FNV-1a digest of the serialized image — a stable fingerprint for
+ * log lines and quick mismatch triage.
+ */
+std::uint64_t goldenDigest(const std::vector<TraceEvent> &events);
+
+} // namespace rho
+
+#endif // RHO_TRACE_GOLDEN_HH

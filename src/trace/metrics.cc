@@ -1,0 +1,25 @@
+#include "trace/metrics.hh"
+
+#include <sstream>
+
+namespace rho
+{
+
+std::string
+MetricsRegistry::dump(const std::string &prefix) const
+{
+    std::ostringstream out;
+    for (const auto &[name, v] : counters_) {
+        if (!prefix.empty()) {
+            if (name.compare(0, prefix.size(), prefix) != 0)
+                continue;
+            // "dram" matches "dram.acts" but not "dramatic.acts".
+            if (name.size() > prefix.size() && name[prefix.size()] != '.')
+                continue;
+        }
+        out << "  " << name << " = " << v << "\n";
+    }
+    return out.str();
+}
+
+} // namespace rho

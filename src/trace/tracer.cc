@@ -1,0 +1,77 @@
+#include "trace/tracer.hh"
+
+#include <algorithm>
+
+namespace rho
+{
+
+Tracer::Tracer(TraceConfig cfg) : cfg_(cfg), enabled_(cfg.enabled)
+{
+    if (cfg_.capacity == 0)
+        cfg_.capacity = 1;
+    if (enabled_)
+        ring_.reserve(std::min(cfg_.capacity, std::size_t{1} << 12));
+}
+
+void
+Tracer::record(Ns when, EventKind kind, std::uint8_t flags,
+               std::uint32_t a, std::uint64_t b, std::uint64_t c)
+{
+    TraceEvent ev;
+    ev.when = when;
+    ev.kind = kind;
+    ev.flags = flags;
+    ev.tid = tid_;
+    ev.a = a;
+    ev.b = b;
+    ev.c = c;
+
+    if (count_ < cfg_.capacity) {
+        ring_.push_back(ev);
+        ++count_;
+        head_ = count_ % cfg_.capacity;
+    } else {
+        // Full: overwrite the oldest slot (drop-oldest flight recorder).
+        ring_[head_] = ev;
+        head_ = (head_ + 1) % cfg_.capacity;
+        ++dropped_;
+    }
+}
+
+std::vector<TraceEvent>
+Tracer::events() const
+{
+    std::vector<TraceEvent> out;
+    out.reserve(count_);
+    if (count_ < cfg_.capacity) {
+        out.assign(ring_.begin(), ring_.end());
+    } else {
+        // head_ points at the oldest event once the ring has wrapped.
+        out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head_),
+                   ring_.end());
+        out.insert(out.end(), ring_.begin(),
+                   ring_.begin() + static_cast<std::ptrdiff_t>(head_));
+    }
+    return out;
+}
+
+void
+Tracer::clear()
+{
+    ring_.clear();
+    head_ = 0;
+    count_ = 0;
+    dropped_ = 0;
+}
+
+void
+appendRestamped(std::vector<TraceEvent> &out, const Tracer &src,
+                std::uint16_t tid)
+{
+    for (TraceEvent ev : src.events()) {
+        ev.tid = tid;
+        out.push_back(ev);
+    }
+}
+
+} // namespace rho

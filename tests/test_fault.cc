@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "exploit/massage.hh"
 #include "exploit/pte_attack.hh"
 #include "fault/fault_injector.hh"
 #include "fault/fault_schedule.hh"
@@ -308,6 +309,47 @@ TEST(Chaos, PteAttackSucceedsUnderDefaultChaosSchedule)
         EXPECT_LE(chaos_time / successes, 2.0 * base.endToEndTimeNs)
             << archName(arch);
     }
+}
+
+TEST(Chaos, MassageCountersDoNotDriftUnderAllocPressure)
+{
+    // Regression pin for counter drift on rolled-back operations: each
+    // steerPtPage performs exactly one injector-visible allocation (the
+    // PT page inside mapPage). The victim-reclaim alloc on the failure
+    // path is fault-exempt, so (a) delivered allocFailures equals the
+    // number of failed massages — the reclaim never re-consults the
+    // injector — and (b) no frame leaks: free memory returns to the
+    // pre-massage level after every trial, failed or not.
+    MemorySystem sys(Arch::AlderLake, DimmProfile::byId("S2"),
+                     TrrConfig{}, 51);
+    BuddyAllocator buddy(sys.mapping().memBytes(), 0.02, 51);
+    PageTableManager pt(sys, buddy);
+    PageTableMassager massager(buddy, pt, 51);
+
+    constexpr unsigned trials = 24;
+    std::vector<std::pair<PhysAddr, PhysAddr>> pages;
+    for (unsigned i = 0; i < trials; ++i)
+        pages.emplace_back(*buddy.allocPage(), *buddy.allocPage());
+
+    FaultInjector inj(
+        FaultSchedule::chaosDefault().merge(
+            FaultSchedule::allocPressure(0.5, 0.0)),
+        chaosSeed());
+    sys.attachFaultInjector(&inj);
+    buddy.setFaultInjector(&inj);
+
+    std::uint64_t before = buddy.freeBytes();
+    unsigned failures = 0;
+    for (auto [victim, backing] : pages) {
+        MassageResult res = massager.steerPtPage(42, victim, backing);
+        if (res.code == FailureCode::AllocationFailed)
+            ++failures;
+        EXPECT_EQ(buddy.freeBytes(), before);
+    }
+    // The schedule must actually exercise both paths.
+    EXPECT_GT(failures, 0u);
+    EXPECT_LT(failures, trials);
+    EXPECT_EQ(inj.stats().allocFailures, failures);
 }
 
 TEST(Chaos, PteAttackFailsHonestlyUnderTotalSuppression)

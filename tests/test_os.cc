@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "fault/fault_injector.hh"
 #include "memsys/memory_system.hh"
 #include "os/buddy_allocator.hh"
 #include "os/page_table.hh"
@@ -203,4 +204,25 @@ TEST(PageTable, SharedTableWithinRegion)
     ASSERT_TRUE(
         pt.mapPage(1, base + (pageBytes << 9), *buddy.allocPage(), true));
     EXPECT_EQ(pt.ptPagesAllocated(), before + 1);
+}
+
+TEST(Buddy, FaultExemptAllocBypassesInjector)
+{
+    // Rollback paths reclaim frames with fault_exempt=true: an
+    // injected failure there would corrupt allocator bookkeeping
+    // after the fault was already charged to the rolled-back
+    // operation.
+    BuddyAllocator b(1ULL << 24, 0.0);
+    FaultInjector inj(FaultSchedule::constant({.allocFailProb = 1.0}),
+                      /*seed=*/7);
+    b.setFaultInjector(&inj);
+
+    std::uint64_t before = b.freeBytes();
+    EXPECT_FALSE(b.alloc(0).has_value());
+    EXPECT_EQ(b.freeBytes(), before); // injected failure burns nothing
+
+    auto p = b.alloc(0, /*fault_exempt=*/true);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(b.freeBytes(), before - pageBytes);
+    b.free(*p, 0);
 }

@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <stdexcept>
 #include <thread>
 
@@ -17,6 +18,7 @@
 #include "hammer/pattern_fuzzer.hh"
 #include "hammer/sweep.hh"
 #include "hammer/tuned_configs.hh"
+#include "trace/metrics.hh"
 
 using namespace rho;
 
@@ -183,6 +185,72 @@ TEST(Determinism, SweepCampaignBitIdenticalAcrossJobCounts)
             expectSameFlipList(got.flipList, ref.flipList);
         }
     }
+}
+
+TEST(Determinism, MetricsTotalsIndependentOfJobCount)
+{
+    // The unified counters (ACTs, targeted refreshes, flips, ...) are
+    // merged in task order, so the whole registry — not just the
+    // headline result — must be identical for any job count.
+    SystemSpec spec = campaignSpec();
+    HammerConfig cfg = rhoConfig(Arch::CometLake, true, 150000);
+    SweepParams params;
+    params.numLocations = 4;
+
+    std::uint64_t total_flips = 0;
+    for (std::uint64_t seed : {31ULL, 32ULL, 33ULL}) {
+        Rng pattern_rng(seed);
+        HammerPattern pattern =
+            HammerPattern::randomNonUniform(pattern_rng);
+
+        params.jobs = 1;
+        MetricsRegistry ref;
+        sweepCampaign(spec, pattern, cfg, params, seed, nullptr, &ref);
+        EXPECT_GT(ref.value("dram.acts"), 0u) << "seed " << seed;
+        EXPECT_GT(ref.value("cpu.dram_accesses"), 0u) << "seed " << seed;
+        EXPECT_EQ(ref.value("campaign.locations"), params.numLocations);
+        total_flips += ref.value("hammer.flips");
+
+        for (unsigned jobs : {2u, 8u}) {
+            params.jobs = jobs;
+            MetricsRegistry got;
+            sweepCampaign(spec, pattern, cfg, params, seed, nullptr,
+                          &got);
+            EXPECT_EQ(got.all(), ref.all())
+                << "seed " << seed << " jobs " << jobs;
+        }
+    }
+    // The property is only interesting if the counters saw real work.
+    EXPECT_GT(total_flips, 0u);
+}
+
+TEST(Determinism, RestoredTasksAreNotCountedAsRun)
+{
+    // Regression: a journal-restored task used to be counted in
+    // tasksRun even though it did no simulation work, so a resumed
+    // campaign reported tasksRun == numLocations twice over.
+    SystemSpec spec = campaignSpec();
+    HammerConfig cfg = rhoConfig(Arch::CometLake, true, 30000);
+    Rng pattern_rng(44);
+    HammerPattern pattern = HammerPattern::randomNonUniform(pattern_rng);
+    SweepParams params;
+    params.numLocations = 5;
+    params.jobs = 2;
+    params.checkpointPath = testing::TempDir() + "rho_tasksrun.journal";
+    std::remove(params.checkpointPath.c_str());
+
+    ParallelStats first;
+    sweepCampaign(spec, pattern, cfg, params, 44, &first);
+    EXPECT_EQ(first.tasksRun, 5u);
+    EXPECT_EQ(first.tasksRestored, 0u);
+
+    // Second run restores everything from the journal: no task
+    // actually executed.
+    ParallelStats second;
+    sweepCampaign(spec, pattern, cfg, params, 44, &second);
+    EXPECT_EQ(second.tasksRestored, 5u);
+    EXPECT_EQ(second.tasksRun, 0u);
+    std::remove(params.checkpointPath.c_str());
 }
 
 TEST(Determinism, CampaignStatsReflectScheduling)
