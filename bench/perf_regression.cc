@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Perf-regression harness for the activation hot path.
+ *
+ * Times two workloads across 3 seeds (medians reported):
+ *  - device loop: raw double-sided hammering straight on Dimm::access,
+ *    the loop the flat row-state fast path accelerates. Run through
+ *    both row stores, so the flat-vs-reference speedup is measured in
+ *    the same process. Mitigations are disabled here: the TRR sampler
+ *    is identical (rng-bound) code on both paths and would only dilute
+ *    the row-state signal being guarded;
+ *  - end to end: a full HammerSession::hammer() with the tuned rho
+ *    config (CPU model + controller + device), the configuration every
+ *    table/figure bench pays for.
+ *
+ * Writes BENCH_rho.json (override with --out PATH) in the stable
+ * "rho-bench-v1" schema:
+ *
+ *     {
+ *       "schema": "rho-bench-v1",
+ *       "scale": <RHO_BENCH_SCALE>,
+ *       "seeds": [1, 2, 3],
+ *       "metrics": {
+ *         "device_acts_per_sec": ...,        // higher is better
+ *         "device_wall_ns_per_sim_ns": ...,  // lower is better
+ *         "device_speedup_flat_vs_reference": ...,
+ *         "e2e_acts_per_sec": ...,
+ *         "e2e_wall_ns_per_sim_ns": ...
+ *       }
+ *     }
+ *
+ * Modes:
+ *   --out PATH        where to write the JSON (default BENCH_rho.json)
+ *   --check BASELINE  compare the higher-is-better metrics against a
+ *                     committed baseline; exit 1 if any drops by more
+ *                     than the threshold (default 25%, --threshold F)
+ *   --selfcheck       re-read the written file and validate the schema
+ *                     (used by the bench smoke CTest); exit 1 on error
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "dram/dimm.hh"
+#include "dram/dimm_profile.hh"
+#include "hammer/sweep.hh"
+#include "hammer/tuned_configs.hh"
+
+using namespace rho;
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+elapsedNs(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::nano>(Clock::now() - t0)
+        .count();
+}
+
+struct LoopResult
+{
+    double actsPerSec = 0.0;
+    double wallNsPerSimNs = 0.0;
+};
+
+/** Raw device activation loop (no CPU model), one location per seed. */
+LoopResult
+deviceLoop(RowStoreKind kind, std::uint64_t seed, std::uint64_t rounds)
+{
+    const DimmProfile &p = DimmProfile::byId("S2");
+    TrrConfig trr;
+    trr.enabled = false; // pure row-state machinery (see file header)
+    Dimm d(p, DramTiming::ddr4(p.freqMts), trr);
+    d.setRowStore(kind);
+    std::uint32_t bank =
+        static_cast<std::uint32_t>(seed % d.geometry().flatBanks());
+    std::uint64_t base = 1000 + (seed * 7919) % (d.geometry().rowsPerBank
+                                                 - 1016);
+    d.fillRow(bank, base + 1, 0x55, 0.0);
+
+    Ns now = 0.0;
+    Clock::time_point t0 = Clock::now();
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+        now += d.access({bank, base, 0}, now).latency;
+        now += d.access({bank, base + 2, 0}, now).latency;
+    }
+    double wall = elapsedNs(t0);
+    LoopResult res;
+    res.actsPerSec = d.totalActs() / (wall * 1e-9);
+    res.wallNsPerSimNs = wall / now;
+    return res;
+}
+
+/** Full pipeline: tuned rho attack through the CPU model. */
+LoopResult
+endToEnd(std::uint64_t seed, std::uint64_t budget)
+{
+    MemorySystem sys(Arch::RaptorLake, DimmProfile::byId("S2"),
+                     TrrConfig{}, seed);
+    HammerSession session(sys, seed);
+    HammerConfig cfg = rhoConfig(Arch::RaptorLake, true, budget);
+    HammerPattern pattern = HammerPattern::doubleSided();
+    HammerLocation loc = session.randomLocation(pattern, cfg);
+
+    Clock::time_point t0 = Clock::now();
+    session.hammer(pattern, loc, cfg);
+    double wall = elapsedNs(t0);
+    LoopResult res;
+    res.actsPerSec = sys.dimm().totalActs() / (wall * 1e-9);
+    res.wallNsPerSimNs = wall / std::max(sys.now(), 1.0);
+    return res;
+}
+
+double
+median3(double a, double b, double c)
+{
+    double v[3] = {a, b, c};
+    std::sort(v, v + 3);
+    return v[1];
+}
+
+/** Scan `text` for `"key": <number>`; false when the key is absent. */
+bool
+findNumber(const std::string &text, const std::string &key, double &out)
+{
+    std::string needle = "\"" + key + "\":";
+    std::size_t pos = text.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    const char *s = text.c_str() + pos + needle.size();
+    char *end = nullptr;
+    double v = std::strtod(s, &end);
+    if (end == s)
+        return false;
+    out = v;
+    return true;
+}
+
+const char *const metricNames[] = {
+    "device_acts_per_sec",
+    "device_wall_ns_per_sim_ns",
+    "device_speedup_flat_vs_reference",
+    "e2e_acts_per_sec",
+    "e2e_wall_ns_per_sim_ns",
+};
+constexpr unsigned numMetrics = 5;
+
+/** Higher-is-better metrics gated by --check. */
+const char *const checkedMetrics[] = {
+    "device_acts_per_sec",
+    "device_speedup_flat_vs_reference",
+    "e2e_acts_per_sec",
+};
+
+std::string
+renderJson(const double metrics[numMetrics],
+           const std::vector<std::uint64_t> &seeds)
+{
+    std::ostringstream os;
+    os.precision(6);
+    os << "{\n  \"schema\": \"rho-bench-v1\",\n  \"scale\": "
+       << bench::scale() << ",\n  \"seeds\": [";
+    for (std::size_t i = 0; i < seeds.size(); ++i)
+        os << (i ? ", " : "") << seeds[i];
+    os << "],\n  \"metrics\": {\n";
+    for (unsigned i = 0; i < numMetrics; ++i) {
+        os << "    \"" << metricNames[i] << "\": " << metrics[i]
+           << (i + 1 < numMetrics ? ",\n" : "\n");
+    }
+    os << "  }\n}\n";
+    return os.str();
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream os;
+    os << in.rdbuf();
+    out = os.str();
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_rho.json";
+    std::string baseline_path;
+    bool selfcheck = false;
+    double threshold = 0.25;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
+            out_path = argv[++i];
+        else if (!std::strcmp(argv[i], "--check") && i + 1 < argc)
+            baseline_path = argv[++i];
+        else if (!std::strcmp(argv[i], "--threshold") && i + 1 < argc)
+            threshold = std::atof(argv[++i]);
+        else if (!std::strcmp(argv[i], "--selfcheck"))
+            selfcheck = true;
+    }
+
+    bench::banner("perf", "activation hot-path regression harness "
+                          "(BENCH_rho.json)");
+
+    const std::vector<std::uint64_t> seeds = {1, 2, 3};
+    std::uint64_t device_rounds = bench::scaled(400000);
+    // The reference store is the slow path being guarded against; a
+    // shorter loop reaches steady state just the same.
+    std::uint64_t ref_rounds = std::max<std::uint64_t>(
+        device_rounds / 8, 1);
+    std::uint64_t e2e_budget = bench::scaled(200000);
+
+    double flat_aps[3], flat_wps[3], speedup[3], e2e_aps[3], e2e_wps[3];
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+        LoopResult flat =
+            deviceLoop(RowStoreKind::Flat, seeds[i], device_rounds);
+        LoopResult ref =
+            deviceLoop(RowStoreKind::Reference, seeds[i], ref_rounds);
+        LoopResult e2e = endToEnd(seeds[i], e2e_budget);
+        flat_aps[i] = flat.actsPerSec;
+        flat_wps[i] = flat.wallNsPerSimNs;
+        speedup[i] = flat.actsPerSec / ref.actsPerSec;
+        e2e_aps[i] = e2e.actsPerSec;
+        e2e_wps[i] = e2e.wallNsPerSimNs;
+        std::printf("seed %llu: device %.2fM acts/s (ref %.2fM, "
+                    "speedup %.2fx), end-to-end %.2fM acts/s\n",
+                    static_cast<unsigned long long>(seeds[i]),
+                    flat.actsPerSec / 1e6, ref.actsPerSec / 1e6,
+                    speedup[i], e2e.actsPerSec / 1e6);
+    }
+
+    double metrics[numMetrics] = {
+        median3(flat_aps[0], flat_aps[1], flat_aps[2]),
+        median3(flat_wps[0], flat_wps[1], flat_wps[2]),
+        median3(speedup[0], speedup[1], speedup[2]),
+        median3(e2e_aps[0], e2e_aps[1], e2e_aps[2]),
+        median3(e2e_wps[0], e2e_wps[1], e2e_wps[2]),
+    };
+
+    std::printf("\nmedians over %zu seeds:\n", seeds.size());
+    for (unsigned i = 0; i < numMetrics; ++i)
+        std::printf("  %-34s %g\n", metricNames[i], metrics[i]);
+
+    std::string json = renderJson(metrics, seeds);
+    {
+        std::ofstream out(out_path, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "FAIL: cannot write %s\n",
+                         out_path.c_str());
+            return 1;
+        }
+        out << json;
+    }
+    std::printf("\nwrote %s\n", out_path.c_str());
+
+    if (selfcheck) {
+        std::string back;
+        if (!readFile(out_path, back)
+            || back.find("\"rho-bench-v1\"") == std::string::npos) {
+            std::fprintf(stderr, "FAIL: %s missing rho-bench-v1 schema\n",
+                         out_path.c_str());
+            return 1;
+        }
+        for (const char *name : metricNames) {
+            double v = 0.0;
+            if (!findNumber(back, name, v) || !(v > 0.0)) {
+                std::fprintf(stderr,
+                             "FAIL: %s: metric %s missing or not a "
+                             "positive number\n",
+                             out_path.c_str(), name);
+                return 1;
+            }
+        }
+        std::printf("selfcheck: schema and all %u metrics OK\n",
+                    numMetrics);
+    }
+
+    if (!baseline_path.empty()) {
+        std::string base;
+        if (!readFile(baseline_path, base)) {
+            std::fprintf(stderr, "FAIL: cannot read baseline %s\n",
+                         baseline_path.c_str());
+            return 1;
+        }
+        bool ok = true;
+        for (const char *name : checkedMetrics) {
+            double want = 0.0, got = 0.0;
+            if (!findNumber(base, name, want)) {
+                std::fprintf(stderr,
+                             "FAIL: baseline %s lacks metric %s\n",
+                             baseline_path.c_str(), name);
+                ok = false;
+                continue;
+            }
+            findNumber(json, name, got);
+            double floor = want * (1.0 - threshold);
+            bool pass = got >= floor;
+            std::printf("check %-34s %g vs baseline %g (floor %g): %s\n",
+                        name, got, want, floor, pass ? "ok" : "REGRESSED");
+            ok = ok && pass;
+        }
+        if (!ok) {
+            std::fprintf(stderr,
+                         "FAIL: perf regressed more than %.0f%% against "
+                         "%s\n",
+                         threshold * 100.0, baseline_path.c_str());
+            return 1;
+        }
+        std::printf("perf within %.0f%% of baseline %s\n",
+                    threshold * 100.0, baseline_path.c_str());
+    }
+    return 0;
+}

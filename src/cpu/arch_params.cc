@@ -30,6 +30,7 @@ cometLake()
 {
     ArchParams p = base();
     p.name = "Comet Lake";
+    p.lfenceIssueCyc = 2.0;
     p.freqGhz = 4.8;
     p.fetchWidth = 4;
     p.robSize = 224;
@@ -54,6 +55,7 @@ rocketLake()
 {
     ArchParams p = base();
     p.name = "Rocket Lake";
+    p.lfenceIssueCyc = 2.25;
     p.freqGhz = 4.9;
     p.fetchWidth = 5;
     p.robSize = 352;
@@ -78,6 +80,7 @@ alderLake()
 {
     ArchParams p = base();
     p.name = "Alder Lake";
+    p.lfenceIssueCyc = 2.5;
     p.freqGhz = 5.1;
     p.fetchWidth = 6;
     p.robSize = 512;
@@ -102,6 +105,7 @@ raptorLake()
 {
     ArchParams p = base();
     p.name = "Raptor Lake";
+    p.lfenceIssueCyc = 3.0;
     p.freqGhz = 5.5;
     p.fetchWidth = 6;
     p.robSize = 512;

@@ -80,7 +80,14 @@ struct ArchParams
     double nopCyc;        //!< effective dispatch cost of one NOP
     double aluCyc;
     double obfOverheadCyc; //!< rdrand/rdtscp + mixing per obf. branch
-    double lfenceCyc;
+    double lfenceCyc;      //!< drain + pipeline restart (fence waited)
+    /**
+     * Issue cost of an LFENCE that finds no older loads pending (the
+     * no-wait path): the fence dispatches and retires without draining
+     * anything, so it costs only its own execution latency — per-arch,
+     * and far below the drain+restart cost above.
+     */
+    double lfenceIssueCyc;
     double mfenceCyc;
     double cpuidCyc;
 

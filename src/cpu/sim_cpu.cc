@@ -138,7 +138,7 @@ SimCpu::execOp(const Op &op, const HammerKernel &kernel, MemoryBackend &mem,
         if (ready > now)
             now = ready + cyc(arch.lfenceCyc); // wait + restart
         else
-            now += cyc(2.0);
+            now += cyc(arch.lfenceIssueCyc); // nothing to drain
         return;
       }
 

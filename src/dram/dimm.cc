@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/rng.hh"
 #include "fault/fault_injector.hh"
 
 namespace rho
@@ -14,7 +15,8 @@ Dimm::Dimm(const DimmProfile &profile, const DramTiming &timing,
            const TrrConfig &trr_cfg, const RfmConfig &rfm_cfg)
     : prof(profile), tim(timing), trr(trr_cfg, profile.geom.flatBanks()),
       rfm(rfm_cfg, profile.geom.flatBanks()),
-      banks(profile.geom.flatBanks())
+      banks(profile.geom.flatBanks()),
+      bankRows(profile.geom.flatBanks())
 {
 }
 
@@ -22,10 +24,37 @@ void
 Dimm::reset()
 {
     rows.clear();
+    for (BankRows &b : bankRows)
+        b = BankRows{};
     flips.clear();
     std::fill(banks.begin(), banks.end(), BankState{});
     acts = 0;
     nextTrrTick = 0.0;
+    trr.reset();
+    rfm.reset();
+}
+
+void
+Dimm::setRowStore(RowStoreKind kind)
+{
+    if (kind == store)
+        return;
+    if (acts != 0 || anyRowState())
+        panic("Dimm::setRowStore: row state already materialized; "
+              "select the store right after construction or reset()");
+    store = kind;
+}
+
+bool
+Dimm::anyRowState() const
+{
+    if (!rows.empty())
+        return true;
+    for (const BankRows &b : bankRows) {
+        if (!b.pool.empty())
+            return true;
+    }
+    return false;
 }
 
 Ns
@@ -60,7 +89,18 @@ void
 Dimm::applyAutoRefresh(RowState &rs, std::uint32_t bank,
                        std::uint64_t row, Ns now)
 {
+    // Memoised no-op check: autoRefreshBefore is monotone in now, so
+    // while now is short of the next slot boundary (arBoundary) and
+    // lastRefresh still covers the last evaluated slot (arLast), the
+    // refresh below provably cannot fire and one comparison suffices.
+    // The lastRefresh guard keeps this exact even when a TRR-driven
+    // refresh rolls lastRefresh back to an earlier tick time.
+    if (store == RowStoreKind::Flat && now < rs.arBoundary
+        && rs.lastRefresh >= rs.arLast)
+        return;
     Ns last = autoRefreshBefore(row, now);
+    rs.arLast = last;
+    rs.arBoundary = last + tim.tREFW;
     if (last > rs.lastRefresh) {
         rs.lastRefresh = last;
         // Stamped with the refresh's own (earlier) time: the stream
@@ -69,9 +109,83 @@ Dimm::applyAutoRefresh(RowState &rs, std::uint32_t bank,
     }
 }
 
+Dimm::RowState *
+Dimm::flatFind(BankRows &b, std::uint64_t row) const
+{
+    if (b.keys.empty())
+        return nullptr;
+    std::size_t mask = b.keys.size() - 1;
+    std::size_t i = splitMix64(row) & mask;
+    while (b.keys[i] != BankRows::emptyKey) {
+        if (b.keys[i] == row)
+            return b.vals[i];
+        i = (i + 1) & mask;
+    }
+    return nullptr;
+}
+
+void
+Dimm::flatGrow(BankRows &b)
+{
+    std::vector<std::uint64_t> old_keys = std::move(b.keys);
+    std::vector<RowState *> old_vals = std::move(b.vals);
+    std::size_t cap = old_keys.empty() ? 256 : old_keys.size() * 2;
+    b.keys.assign(cap, BankRows::emptyKey);
+    b.vals.assign(cap, nullptr);
+    std::size_t mask = cap - 1;
+    for (std::size_t j = 0; j < old_keys.size(); ++j) {
+        if (old_keys[j] == BankRows::emptyKey)
+            continue;
+        std::size_t i = splitMix64(old_keys[j]) & mask;
+        while (b.keys[i] != BankRows::emptyKey)
+            i = (i + 1) & mask;
+        b.keys[i] = old_keys[j];
+        b.vals[i] = old_vals[j];
+    }
+}
+
+/**
+ * Find-or-create without applying the lazy auto-refresh (callers do
+ * that at each use). Checks the direct-mapped cache, then the
+ * open-addressed index, then inserts into the pointer-stable pool.
+ */
+Dimm::RowState *
+Dimm::flatLookup(BankRows &b, std::uint64_t row, Ns now)
+{
+    BankRows::CacheEntry &ce = b.cache[row & (BankRows::cacheWays - 1)];
+    if (ce.tag == row)
+        return ce.rs;
+    RowState *rs = flatFind(b, row);
+    if (!rs) {
+        if (b.keys.empty() || (b.used + 1) * 10 >= b.keys.size() * 7)
+            flatGrow(b);
+        b.pool.emplace_back();
+        rs = &b.pool.back();
+        rs->lastRefresh = autoRefreshBefore(row, now);
+        std::size_t mask = b.keys.size() - 1;
+        std::size_t i = splitMix64(row) & mask;
+        while (b.keys[i] != BankRows::emptyKey)
+            i = (i + 1) & mask;
+        b.keys[i] = row;
+        b.vals[i] = rs;
+        ++b.used;
+    }
+    ce.tag = row;
+    ce.rs = rs;
+    return rs;
+}
+
 Dimm::RowState &
 Dimm::rowState(std::uint32_t bank, std::uint64_t row, Ns now)
 {
+    if (store == RowStoreKind::Flat) {
+        RowState *rs = flatLookup(bankRows[bank], row, now);
+        // A just-created row has lastRefresh == the slot this call
+        // would compute, so applying the lazy refresh unconditionally
+        // is a no-op for it — same semantics as the reference path.
+        applyAutoRefresh(*rs, bank, row, now);
+        return *rs;
+    }
     auto [it, inserted] = rows.try_emplace(rowKey(bank, row));
     RowState &rs = it->second;
     if (inserted)
@@ -92,22 +206,59 @@ Dimm::materializeData(RowState &rs)
 }
 
 void
+Dimm::recomputeMinThreshold(RowState &rs)
+{
+    double m = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < rs.cells.size(); ++i) {
+        if (!rs.flipped[i])
+            m = std::min(m, static_cast<double>(rs.cells[i].threshold));
+    }
+    rs.minUnflipped = m;
+}
+
+void
 Dimm::disturbNeighbour(std::uint32_t bank, std::uint64_t victim,
                        double weight, Ns now)
 {
     RowState &rs = rowState(bank, victim, now);
+    disturbCells(rs, bank, victim, weight, now);
+}
+
+void
+Dimm::initCells(RowState &rs, std::uint32_t bank, std::uint64_t victim)
+{
+    rs.cells = prof.weakCellsFor(bank, victim);
+    rs.flipped.assign(rs.cells.size(), false);
+    rs.cellsInit = true;
+    recomputeMinThreshold(rs);
+}
+
+void
+Dimm::disturbCells(RowState &rs, std::uint32_t bank, std::uint64_t victim,
+                   double weight, Ns now)
+{
     rs.disturb += weight;
     RHO_TRACE(tracer, now, EventKind::Disturb, 0, bank, victim,
               traceBits(weight));
 
-    if (!rs.cellsInit) {
-        rs.cells = prof.weakCellsFor(bank, victim);
-        rs.flipped.assign(rs.cells.size(), false);
-        rs.cellsInit = true;
-    }
+    if (!rs.cellsInit)
+        initCells(rs, bank, victim);
     if (rs.cells.empty())
         return;
+    // Common-case O(1) exit: no unlatched cell can have crossed its
+    // threshold yet (minUnflipped is a conservative lower bound), so
+    // the scan below — including its fault-injection draws — cannot
+    // do anything.
+    if (store == RowStoreKind::Flat && rs.disturb < rs.minUnflipped)
+        return;
 
+    scanCells(rs, bank, victim, now);
+}
+
+void
+Dimm::scanCells(RowState &rs, std::uint32_t bank, std::uint64_t victim,
+                Ns now)
+{
     for (std::size_t i = 0; i < rs.cells.size(); ++i) {
         if (rs.flipped[i] || rs.disturb < rs.cells[i].threshold)
             continue;
@@ -119,6 +270,8 @@ Dimm::disturbNeighbour(std::uint32_t bank, std::uint64_t victim,
         if (injector && injector->suppressFlip()) {
             // FlipSuppressed implies the disturb reset; the causal
             // replay treats it as one (no separate DisturbReset).
+            // minUnflipped stays a valid (conservative) bound: no
+            // latch changed.
             RHO_TRACE(tracer, now, EventKind::FlipSuppressed, 0, bank,
                       victim, traceBits(rs.disturb));
             rs.disturb = 0.0;
@@ -145,6 +298,7 @@ Dimm::disturbNeighbour(std::uint32_t bank, std::uint64_t victim,
         }
         rs.flipped[i] = true;
     }
+    recomputeMinThreshold(rs);
 }
 
 void
@@ -191,18 +345,27 @@ Dimm::doAct(std::uint32_t bank, std::uint64_t row, Ns now)
     RHO_TRACE(tracer, now, EventKind::DramAct, 0, bank, row, 0);
     processTrrTicks(now);
 
-    if (auto ptrr = trr.observeAct(bank, row, now)) {
-        RHO_TRACE(tracer, now, EventKind::PtrrRefresh, 0, ptrr->bank,
-                  ptrr->row, 0);
-        refreshNeighbours(ptrr->bank, ptrr->row, now,
-                          ResetSource::TrrNeighbor);
+    // A passive sampler (TRR and pTRR both off) draws no randomness
+    // and mutates nothing, so skipping the call is observably
+    // identical — it only removes call overhead from the hot loop.
+    if (trr.active()) {
+        if (auto ptrr = trr.observeAct(bank, row, now)) {
+            RHO_TRACE(tracer, now, EventKind::PtrrRefresh, 0, ptrr->bank,
+                      ptrr->row, 0);
+            refreshNeighbours(ptrr->bank, ptrr->row, now,
+                              ResetSource::TrrNeighbor);
+        }
     }
 
     // DDR5 refresh management: deterministic per-bank RAA counters
     // trigger RFM commands that protect recently activated rows.
-    for (const TrrTarget &t : rfm.observeAct(bank, row)) {
-        RHO_TRACE(tracer, now, EventKind::RfmRefresh, 0, t.bank, t.row, 0);
-        refreshNeighbours(t.bank, t.row, now, ResetSource::RfmNeighbor);
+    // (A disabled engine observes nothing, so the call is skipped.)
+    if (rfm.enabled()) {
+        for (const TrrTarget &t : rfm.observeAct(bank, row)) {
+            RHO_TRACE(tracer, now, EventKind::RfmRefresh, 0, t.bank,
+                      t.row, 0);
+            refreshNeighbours(t.bank, t.row, now, ResetSource::RfmNeighbor);
+        }
     }
 
     // Injected spurious TRR: the controller refreshes this row's
@@ -212,7 +375,58 @@ Dimm::doAct(std::uint32_t bank, std::uint64_t row, Ns now)
         refreshNeighbours(bank, row, now, ResetSource::Spurious);
     }
 
-    // Activating a row restores the charge of its own cells.
+    static constexpr int ds[4] = {-2, -1, 1, 2};
+
+    if (store == RowStoreKind::Flat) {
+        BankRows &b = bankRows[bank];
+        BankRows::NbEntry &ne = b.nbCache[row & (BankRows::nbWays - 1)];
+        if (ne.tag != row) {
+            ne.tag = row;
+            ne.self = flatLookup(b, row, now);
+            for (unsigned i = 0; i < 4; ++i) {
+                std::int64_t v = static_cast<std::int64_t>(row) + ds[i];
+                ne.nb[i] =
+                    (v >= 0
+                     && v < static_cast<std::int64_t>(prof.geom.rowsPerBank))
+                        ? flatLookup(b, static_cast<std::uint64_t>(v), now)
+                        : nullptr;
+            }
+        }
+        // Activating a row restores the charge of its own cells. The
+        // auto-refresh memo (arLast/arBoundary) is re-checked inline
+        // so the common no-op case costs two compares and no call;
+        // applyAutoRefresh performs the identical check again, so the
+        // split cannot change behaviour.
+        RowState &self = *ne.self;
+        if (!(now < self.arBoundary && self.lastRefresh >= self.arLast))
+            applyAutoRefresh(self, bank, row, now);
+        resetDisturb(self, bank, row, now, ResetSource::SelfAct);
+        self.lastRefresh = now;
+        for (unsigned i = 0; i < 4; ++i) {
+            if (!ne.nb[i])
+                continue;
+            RowState &nb = *ne.nb[i];
+            std::uint64_t victim = static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(row) + ds[i]);
+            double w = (ds[i] == 1 || ds[i] == -1) ? 1.0 : halfDoubleWeight;
+            if (!(now < nb.arBoundary && nb.lastRefresh >= nb.arLast))
+                applyAutoRefresh(nb, bank, victim, now);
+            // Inlined disturbCells fast path (same checks, same order):
+            // accumulate, trace, lazily materialize the cell list, and
+            // only fall into the scan when an unlatched cell could
+            // actually have crossed its threshold.
+            nb.disturb += w;
+            RHO_TRACE(tracer, now, EventKind::Disturb, 0, bank, victim,
+                      traceBits(w));
+            if (!nb.cellsInit)
+                initCells(nb, bank, victim);
+            if (!nb.cells.empty() && nb.disturb >= nb.minUnflipped)
+                scanCells(nb, bank, victim, now);
+        }
+        return;
+    }
+
+    // Reference path: every row resolved through the hash map.
     RowState &self = rowState(bank, row, now);
     resetDisturb(self, bank, row, now, ResetSource::SelfAct);
     self.lastRefresh = now;
@@ -279,7 +493,21 @@ Dimm::writeBytes(const DramAddr &da, const std::uint8_t *data,
     // The write activates and restores the row.
     resetDisturb(rs, da.bank, da.row, now, ResetSource::DataWrite);
     rs.lastRefresh = now;
-    std::fill(rs.flipped.begin(), rs.flipped.end(), false);
+    // Re-arm exactly the latches whose stored byte was rewritten: a
+    // partial write leaves cells outside the range latched (their data
+    // was not touched, so there is no fresh charge state to lose).
+    if (rs.cellsInit && !rs.cells.empty()) {
+        bool rearmed = false;
+        for (std::size_t i = 0; i < rs.cells.size(); ++i) {
+            std::uint32_t byte = rs.cells[i].bitOffset >> 3;
+            if (rs.flipped[i] && byte >= da.col && byte < da.col + len) {
+                rs.flipped[i] = false;
+                rearmed = true;
+            }
+        }
+        if (rearmed)
+            recomputeMinThreshold(rs);
+    }
 }
 
 std::uint8_t
@@ -287,7 +515,9 @@ Dimm::readByte(const DramAddr &da, Ns now)
 {
     RowState &rs = rowState(da.bank, da.row, now);
     std::uint8_t v = rs.data ? (*rs.data)[da.col] : rs.fill;
-    // Reading activates and restores the row.
+    // Reading activates and restores the row — but does not re-arm
+    // flip latches: the sense amplifiers write back the (flipped)
+    // value that was read, not fresh data.
     resetDisturb(rs, da.bank, da.row, now, ResetSource::DataRead);
     rs.lastRefresh = now;
     return v;
@@ -303,7 +533,11 @@ Dimm::fillRow(std::uint32_t bank, std::uint64_t row, std::uint8_t pattern,
         std::fill(rs.data->begin(), rs.data->end(), pattern);
     resetDisturb(rs, bank, row, now, ResetSource::DataWrite);
     rs.lastRefresh = now;
-    std::fill(rs.flipped.begin(), rs.flipped.end(), false);
+    // The whole row's data is rewritten: every latch re-arms.
+    if (rs.cellsInit) {
+        std::fill(rs.flipped.begin(), rs.flipped.end(), false);
+        recomputeMinThreshold(rs);
+    }
 }
 
 std::vector<FlipRecord>

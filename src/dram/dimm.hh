@@ -11,12 +11,39 @@
  * targeted refreshes). When the accumulated disturbance crosses a weak
  * cell's threshold, the stored bit flips in the direction determined
  * by the cell's true/anti orientation.
+ *
+ * Flip-latch (re-arm) semantics: once a weak cell's threshold is
+ * crossed, the cell is *latched* — the flip (or the orientation
+ * mismatch that made it a no-op) has been applied to the currently
+ * stored data, and the cell is skipped by later threshold scans. A
+ * latched cell re-arms only when the data it stores is rewritten:
+ * writeBytes() re-arms exactly the cells whose byte lies in the
+ * written range, fillRow() re-arms the whole row. Charge-restoring
+ * operations (self-ACT, readByte(), auto-refresh, TRR/RFM refresh)
+ * reset the accumulated disturbance but do NOT re-arm — reading a
+ * flipped cell senses and restores the flipped value, so there is no
+ * fresh charge state to lose until the attacker (or victim) rewrites
+ * it.
+ *
+ * Row-state storage: the hot activation path uses a flat per-bank
+ * store (RowStoreKind::Flat) — an open-addressed row index over a
+ * pointer-stable pool, fronted by a direct-mapped cache of recently
+ * touched rows and a per-bank cache of the activated row's open
+ * neighbourhood. A hammer loop revisits the same handful of rows
+ * millions of times, so nearly every lookup is a cache hit. The
+ * original std::unordered_map path is kept as RowStoreKind::Reference;
+ * both produce bit-identical traces and flip sequences (pinned by the
+ * differential tests in tests/test_rowstore.cc and the committed
+ * goldens).
  */
 
 #ifndef RHO_DRAM_DIMM_HH
 #define RHO_DRAM_DIMM_HH
 
+#include <array>
 #include <cstdint>
+#include <deque>
+#include <limits>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -52,6 +79,18 @@ struct DramAccessResult
 };
 
 /**
+ * Which per-row state organisation the device uses. Observable
+ * behaviour is identical; Flat is the fast path, Reference the
+ * original hash-map implementation kept as a differential-testing
+ * oracle.
+ */
+enum class RowStoreKind
+{
+    Flat,      //!< per-bank open-addressed index + lookup caches
+    Reference  //!< global std::unordered_map, linear weak-cell scans
+};
+
+/**
  * One DIMM: geometry and weak cells from a DimmProfile, timing from a
  * DramTiming, mitigations from a TrrConfig.
  */
@@ -67,15 +106,26 @@ class Dimm
     /**
      * Functional data-path write of contiguous bytes within one row,
      * starting at the byte offset da.col. Activates the row
-     * (resetting its disturbance) as a real write would.
+     * (resetting its disturbance) as a real write would, and re-arms
+     * the flip latches of exactly the weak cells whose byte falls in
+     * the written range (see the flip-latch semantics in the file
+     * comment).
      */
     void writeBytes(const DramAddr &da, const std::uint8_t *data,
                     std::size_t len, Ns now);
 
-    /** Functional read of one byte (flips already applied). */
+    /**
+     * Functional read of one byte (flips already applied). Restores
+     * the row's charge (disturbance resets) but does not re-arm flip
+     * latches: a read-verified cell stays flipped until its data is
+     * rewritten.
+     */
     std::uint8_t readByte(const DramAddr &da, Ns now);
 
-    /** Fill an entire row with a repeating byte pattern. */
+    /**
+     * Fill an entire row with a repeating byte pattern. Re-arms every
+     * flip latch in the row (the whole row's data is rewritten).
+     */
     void fillRow(std::uint32_t bank, std::uint64_t row,
                  std::uint8_t pattern, Ns now);
 
@@ -98,8 +148,22 @@ class Dimm
     std::uint64_t trrRefreshCount() const { return trr.targetedRefreshes(); }
     std::uint64_t rfmCommandCount() const { return rfm.rfmCommands(); }
 
-    /** Drop all per-row state (fresh device). */
+    /**
+     * Restore the factory-fresh device: drops all per-row state and
+     * resets the mitigation engines (TRR sampler tables *and* sampling
+     * randomness, RFM RAA counters), so a reset device produces the
+     * same flip sequence as a newly constructed one.
+     */
     void reset();
+
+    /**
+     * Select the row-state organisation. Must be called before any
+     * row state materializes (right after construction or reset());
+     * switching a device with live rows would discard accumulated
+     * charge state, so it panics instead.
+     */
+    void setRowStore(RowStoreKind kind);
+    RowStoreKind rowStore() const { return store; }
 
     /**
      * Attach a fault injector (nullptr detaches). Enables probabilistic
@@ -132,6 +196,23 @@ class Dimm
         std::vector<bool> flipped;
         std::unique_ptr<std::vector<std::uint8_t>> data;
         std::uint8_t fill = 0;
+
+        /**
+         * Conservative lower bound on the smallest threshold among
+         * unlatched weak cells (+inf when none): the threshold scan
+         * runs only when `disturb` reaches it. Invariant:
+         * minUnflipped <= min{threshold(c) : c unlatched}, so a stale
+         * (too-low) bound costs a wasted scan but never skips a flip.
+         */
+        double minUnflipped = std::numeric_limits<double>::infinity();
+
+        // Auto-refresh memo: the slot time this row's lazy refresh was
+        // last evaluated at (arLast) and the next slot boundary
+        // (arBoundary). While now < arBoundary and lastRefresh hasn't
+        // been rolled back below arLast, applyAutoRefresh is provably
+        // a no-op and returns after one comparison.
+        Ns arLast = 1e18;
+        Ns arBoundary = -1e18;
     };
 
     struct BankState
@@ -141,6 +222,46 @@ class Dimm
         Ns lastActAt = -1e18;
     };
 
+    /** Per-bank flat row store: index + pool + lookup caches. */
+    struct BankRows
+    {
+        static constexpr std::uint64_t emptyKey = ~0ULL;
+        static constexpr std::size_t cacheWays = 64;
+        static constexpr std::size_t nbWays = 8;
+
+        // Open-addressed index (linear probing, power-of-two size):
+        // row number -> pointer into the pool. Grown at 70% load.
+        std::vector<std::uint64_t> keys;
+        std::vector<RowState *> vals;
+        std::size_t used = 0;
+
+        // Pointer-stable storage for the rows of this bank.
+        std::deque<RowState> pool;
+
+        /** Direct-mapped cache of recently touched rows. */
+        struct CacheEntry
+        {
+            std::uint64_t tag = emptyKey;
+            RowState *rs = nullptr;
+        };
+        std::array<CacheEntry, cacheWays> cache;
+
+        /**
+         * Open-neighbourhood cache for doAct: the activated row plus
+         * its four blast-radius neighbours, resolved once and reused
+         * while the hammer loop revisits the row. Direct-mapped on the
+         * row number; an entry is displaced (invalidated) when a
+         * different row maps onto its way.
+         */
+        struct NbEntry
+        {
+            std::uint64_t tag = emptyKey;
+            RowState *self = nullptr;
+            std::array<RowState *, 4> nb{}; //!< d = -2,-1,+1,+2
+        };
+        std::array<NbEntry, nbWays> nbCache;
+    };
+
     static std::uint64_t
     rowKey(std::uint32_t bank, std::uint64_t row)
     {
@@ -148,6 +269,10 @@ class Dimm
     }
 
     RowState &rowState(std::uint32_t bank, std::uint64_t row, Ns now);
+    RowState *flatFind(BankRows &b, std::uint64_t row) const;
+    RowState *flatLookup(BankRows &b, std::uint64_t row, Ns now);
+    void flatGrow(BankRows &b);
+    bool anyRowState() const;
     void applyAutoRefresh(RowState &rs, std::uint32_t bank,
                           std::uint64_t row, Ns now);
     Ns autoRefreshBefore(std::uint64_t row, Ns now) const;
@@ -158,6 +283,12 @@ class Dimm
     void doAct(std::uint32_t bank, std::uint64_t row, Ns now);
     void disturbNeighbour(std::uint32_t bank, std::uint64_t victim,
                           double weight, Ns now);
+    void disturbCells(RowState &rs, std::uint32_t bank,
+                      std::uint64_t victim, double weight, Ns now);
+    void initCells(RowState &rs, std::uint32_t bank, std::uint64_t victim);
+    void scanCells(RowState &rs, std::uint32_t bank, std::uint64_t victim,
+                   Ns now);
+    void recomputeMinThreshold(RowState &rs);
     void processTrrTicks(Ns now);
     std::vector<std::uint8_t> &materializeData(RowState &rs);
 
@@ -166,7 +297,9 @@ class Dimm
     TrrSampler trr;
     RfmEngine rfm;
     std::vector<BankState> banks;
-    std::unordered_map<std::uint64_t, RowState> rows;
+    RowStoreKind store = RowStoreKind::Flat;
+    std::vector<BankRows> bankRows;             //!< Flat storage
+    std::unordered_map<std::uint64_t, RowState> rows; //!< Reference
     std::vector<FlipRecord> flips;
     std::uint64_t acts = 0;
     Ns nextTrrTick = 0.0;

@@ -10,6 +10,14 @@ RfmEngine::RfmEngine(const RfmConfig &cfg_, std::uint32_t num_banks)
 {
 }
 
+void
+RfmEngine::reset()
+{
+    for (BankState &b : banks)
+        b = BankState{};
+    rfms = 0;
+}
+
 std::vector<TrrTarget>
 RfmEngine::observeAct(std::uint32_t bank, std::uint64_t row)
 {

@@ -55,6 +55,14 @@ class RfmEngine
 
     std::uint64_t rfmCommands() const { return rfms; }
 
+    bool enabled() const { return cfg.enabled; }
+
+    /**
+     * Restore the factory-fresh engine: zeroes every bank's RAA
+     * counter and recency list plus the RFM command count.
+     */
+    void reset();
+
   private:
     struct BankState
     {

@@ -10,6 +10,15 @@ TrrSampler::TrrSampler(const TrrConfig &cfg_, std::uint32_t num_banks)
 {
 }
 
+void
+TrrSampler::reset()
+{
+    for (auto &table : tables)
+        table.clear();
+    rng = Rng(cfg.seed);
+    issued = 0;
+}
+
 std::optional<TrrTarget>
 TrrSampler::observeAct(std::uint32_t bank, std::uint64_t row, Ns now)
 {

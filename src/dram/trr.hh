@@ -81,6 +81,20 @@ class TrrSampler
     std::uint64_t targetedRefreshes() const { return issued; }
 
     /**
+     * Whether any mitigation (TRR or pTRR) is configured. A passive
+     * sampler draws no randomness and never selects a target, so
+     * callers may skip observeAct entirely when this is false.
+     */
+    bool active() const { return cfg.enabled || cfg.ptrr; }
+
+    /**
+     * Restore the factory-fresh sampler: clears every per-bank table,
+     * re-seeds the sampling randomness, and zeroes the issue counter,
+     * so a reset sampler makes the same decisions as a new one.
+     */
+    void reset();
+
+    /**
      * Attach a tracer for TrrSample/TrrEvict events (nullptr
      * detaches). Emission never consumes randomness, so tracing
      * cannot perturb the sampler's decisions.

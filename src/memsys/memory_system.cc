@@ -12,7 +12,10 @@ SystemSpec::instantiate(std::uint64_t seed) const
 {
     if (!dimm)
         panic("SystemSpec::instantiate: no DIMM profile set");
-    return MemorySystem(arch, *dimm, trr, seed, rfm);
+    MemorySystem sys(arch, *dimm, trr, seed, rfm);
+    if (referenceRowStore)
+        sys.dimm().setRowStore(RowStoreKind::Reference);
+    return sys;
 }
 
 MemorySystem::MemorySystem(Arch arch, const DimmProfile &dimm,

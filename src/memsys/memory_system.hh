@@ -142,6 +142,14 @@ struct SystemSpec
     RfmConfig rfm{};
     TraceConfig trace{}; //!< campaign workers trace per-task when enabled
 
+    /**
+     * Route every instantiated DIMM through the original hash-map row
+     * store (RowStoreKind::Reference) instead of the flat fast path.
+     * Used by the differential tests in tests/test_rowstore.cc; both
+     * stores are observably identical.
+     */
+    bool referenceRowStore = false;
+
     SystemSpec() = default;
     SystemSpec(Arch arch_, const DimmProfile &dimm_,
                const TrrConfig &trr_ = TrrConfig{},

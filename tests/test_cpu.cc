@@ -241,6 +241,43 @@ TEST(SimCpu, LfenceOrdersViaAddressChainOnlyInCppMode)
     EXPECT_GT(cpp.missRate(), jit.missRate() + 0.1);
 }
 
+TEST(SimCpu, LfenceChargesArchCostOnNoWaitPath)
+{
+    // Regression for the Lfence fallback charging a hardcoded 2
+    // cycles: with immediate (JIT) addressing and a pure prefetch
+    // stream there are no older loads, so every LFENCE takes the
+    // no-wait path — which must cost the architecture's fence issue
+    // latency (lfenceIssueCyc), not a constant. Pin the exact
+    // per-arch numbers that feed the Table 3 LFENCE columns: with K
+    // extra fences per access the loop time grows by exactly
+    // budget * K * lfenceIssueCyc cycles (the single prefetched line
+    // stays cached after the first fill, so the loop is purely
+    // dispatch-bound and the delta is linear).
+    StubMemory mem;
+    auto timed = [&](Arch a, unsigned fences, std::uint64_t budget) {
+        HammerKernel k(AddressingMode::JitImmediate);
+        for (unsigned i = 0; i < fences; ++i)
+            k.push({OpKind::Lfence, 0, 1});
+        k.pushMem(OpKind::PrefetchNta, 0x100000);
+        SimCpu cpu(ArchParams::forArch(a), 1);
+        return cpu.run(k, mem, budget).timeNs;
+    };
+    const std::uint64_t budget = 1000;
+    for (Arch a : {Arch::CometLake, Arch::RocketLake, Arch::AlderLake,
+                   Arch::RaptorLake}) {
+        const ArchParams &p = ArchParams::forArch(a);
+        double delta = timed(a, 16, budget) - timed(a, 8, budget);
+        double expect = budget * 8.0 * p.lfenceIssueCyc / p.freqGhz;
+        EXPECT_NEAR(delta, expect, 1e-6 * expect) << p.name;
+        // The no-wait fence never pays the drain+restart cost.
+        EXPECT_LT(p.lfenceIssueCyc, p.lfenceCyc) << p.name;
+    }
+    // The issue cost is per-arch (newer cores pay more), which the
+    // old hardcoded fallback erased.
+    EXPECT_LT(ArchParams::forArch(Arch::CometLake).lfenceIssueCyc,
+              ArchParams::forArch(Arch::RaptorLake).lfenceIssueCyc);
+}
+
 TEST(SimCpu, LoadsThrottledByIssueOccupancy)
 {
     // Section 4.5: the minimum pacing at which each primitive becomes

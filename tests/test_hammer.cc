@@ -241,6 +241,50 @@ TEST(Sweep, DeterministicLocationsAndRates)
         EXPECT_GT(res.cumulativeTimeNs[i], res.cumulativeTimeNs[i - 1]);
 }
 
+TEST(Tab03, BarrierStrategyOrderingPinned)
+{
+    // Table 3's shape on both of its architectures: serializing
+    // barriers (CPUID, MFENCE) pay so much per access that they kill
+    // the attack outright, while LFENCE between prefetches "does
+    // almost nothing" — it drains an empty load queue and only costs
+    // the per-arch issue overhead (lfenceIssueCyc, the no-wait path
+    // SimCpu::execOp used to mis-charge as a flat 2 cycles).
+    for (Arch arch : {Arch::AlderLake, Arch::RaptorLake}) {
+        MemorySystem sys(arch, DimmProfile::byId("S2"), TrrConfig{}, 16);
+        HammerSession session(sys, 16);
+        HammerPattern pattern = HammerPattern::doubleSided();
+        HammerConfig base = rhoConfig(arch, true, 60000);
+        HammerLocation loc = session.randomLocation(pattern, base);
+
+        auto timeWith = [&](BarrierKind b, std::uint64_t budget) {
+            HammerConfig cfg = rhoConfig(arch, true, budget);
+            cfg.barrier = b;
+            if (b != BarrierKind::Nop)
+                cfg.nopCount = 0;
+            HammerOutcome out = session.hammer(pattern, loc, cfg);
+            // Normalize to per-access simulated cost so the capped
+            // budgets of the slow barriers stay comparable.
+            return out.perf.timeNs / static_cast<double>(budget);
+        };
+
+        double none = timeWith(BarrierKind::None, 60000);
+        double lfence = timeWith(BarrierKind::Lfence, 60000);
+        double mfence = timeWith(BarrierKind::Mfence, 8000);
+        double cpuid = timeWith(BarrierKind::Cpuid, 8000);
+
+        // Lower rows of Table 3: the serializing barriers cost ~two
+        // orders of magnitude per access (completion wait dominates,
+        // so MFENCE and CPUID land in the same band) while LFENCE
+        // stays within a small constant of the barrier-free loop —
+        // visible at all only because the no-wait path charges the
+        // (small) per-arch issue cost.
+        EXPECT_GT(lfence, none) << archName(arch);
+        EXPECT_LT(lfence, 3.0 * none) << archName(arch);
+        EXPECT_GT(mfence, 20.0 * lfence) << archName(arch);
+        EXPECT_GT(cpuid, 20.0 * lfence) << archName(arch);
+    }
+}
+
 TEST(Mitigation, PtrrStopsRhoHammer)
 {
     // Section 6: the BIOS "Rowhammer Prevention" (pTRR) option
