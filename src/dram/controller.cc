@@ -9,9 +9,11 @@ MemoryController::MemoryController(AddressMapping mapping,
                                    const DimmProfile &profile,
                                    const DramTiming &timing,
                                    const TrrConfig &trr_cfg,
-                                   const RfmConfig &rfm_cfg)
+                                   const RfmConfig &rfm_cfg,
+                                   const PracConfig &prac_cfg)
     : map(std::move(mapping)),
-      dev(std::make_unique<Dimm>(profile, timing, trr_cfg, rfm_cfg))
+      dev(std::make_unique<Dimm>(profile, timing, trr_cfg, rfm_cfg,
+                                 prac_cfg))
 {
     if (map.numBanks() != profile.geom.flatBanks()) {
         fatal("MemoryController: mapping has %u banks, DIMM has %u",

@@ -24,7 +24,8 @@ class MemoryController
   public:
     MemoryController(AddressMapping mapping, const DimmProfile &profile,
                      const DramTiming &timing, const TrrConfig &trr_cfg,
-                     const RfmConfig &rfm_cfg = RfmConfig{});
+                     const RfmConfig &rfm_cfg = RfmConfig{},
+                     const PracConfig &prac_cfg = PracConfig{});
 
     /** Timed access by physical address. */
     DramAccessResult access(PhysAddr pa, Ns now);

@@ -12,9 +12,11 @@ namespace rho
 {
 
 Dimm::Dimm(const DimmProfile &profile, const DramTiming &timing,
-           const TrrConfig &trr_cfg, const RfmConfig &rfm_cfg)
+           const TrrConfig &trr_cfg, const RfmConfig &rfm_cfg,
+           const PracConfig &prac_cfg)
     : prof(profile), tim(timing), trr(trr_cfg, profile.geom.flatBanks()),
       rfm(rfm_cfg, profile.geom.flatBanks()),
+      prac(prac_cfg, profile.geom.flatBanks()),
       banks(profile.geom.flatBanks()),
       bankRows(profile.geom.flatBanks())
 {
@@ -30,8 +32,12 @@ Dimm::reset()
     std::fill(banks.begin(), banks.end(), BankState{});
     acts = 0;
     nextTrrTick = 0.0;
+    pendingStall = 0.0;
+    rfmStalls = 0.0;
+    aboStalls = 0.0;
     trr.reset();
     rfm.reset();
+    prac.reset();
 }
 
 void
@@ -334,6 +340,11 @@ Dimm::processTrrTicks(Ns now)
             refreshNeighbours(t.bank, t.row, nextTrrTick,
                               ResetSource::TrrNeighbor);
         }
+        // Each tick is one REF command: per JEDEC, REF subtracts from
+        // every bank's rolling accumulated ACT count. (Ticks skipped
+        // by the idle fast-forward above carry no decrement — the
+        // device was quiescent, so its RAA counters were near zero.)
+        rfm.onRef();
         nextTrrTick += tim.tREFI;
     }
 }
@@ -361,10 +372,39 @@ Dimm::doAct(std::uint32_t bank, std::uint64_t row, Ns now)
     // trigger RFM commands that protect recently activated rows.
     // (A disabled engine observes nothing, so the call is skipped.)
     if (rfm.enabled()) {
-        for (const TrrTarget &t : rfm.observeAct(bank, row)) {
-            RHO_TRACE(tracer, now, EventKind::RfmRefresh, 0, t.bank,
-                      t.row, 0);
-            refreshNeighbours(t.bank, t.row, now, ResetSource::RfmNeighbor);
+        RfmAction a = rfm.observeAct(bank, row);
+        if (a.fired) {
+            pendingStall += tim.tRFM;
+            rfmStalls += tim.tRFM;
+            RHO_TRACE(tracer, now, EventKind::MitigationStall, 0, bank, 0,
+                      traceBits(tim.tRFM));
+            for (const TrrTarget &t : a.protect) {
+                RHO_TRACE(tracer, now, EventKind::RfmRefresh,
+                          a.urgent ? 1 : 0, t.bank, t.row, 0);
+                refreshNeighbours(t.bank, t.row, now,
+                                  ResetSource::RfmNeighbor);
+            }
+        }
+    }
+
+    // PRAC: exact per-row counters inside the array; a row crossing
+    // the threshold pulls ALERT_n and the device services the hottest
+    // rows during the Alert Back-Off window.
+    if (prac.enabled()) {
+        PracAlertAction alert = prac.observeAct(bank, row);
+        if (!alert.protect.empty()) {
+            RHO_TRACE(tracer, now, EventKind::PracAlert, 0, bank, row,
+                      alert.peak);
+            pendingStall += tim.tABO;
+            aboStalls += tim.tABO;
+            RHO_TRACE(tracer, now, EventKind::MitigationStall, 1, bank, 0,
+                      traceBits(tim.tABO));
+            for (const TrrTarget &t : alert.protect) {
+                RHO_TRACE(tracer, now, EventKind::AboRefresh, 0, t.bank,
+                          t.row, 0);
+                refreshNeighbours(t.bank, t.row, now,
+                                  ResetSource::PracNeighbor);
+            }
         }
     }
 
@@ -476,6 +516,15 @@ Dimm::access(const DramAddr &da, Ns now)
         bk.readyAt = act_at + pre + tim.tRCD;
         bk.openRow = static_cast<std::int64_t>(da.row);
         doAct(da.bank, da.row, act_at + pre);
+        // Mitigation commands raised by this ACT (RFM, Alert Back-Off)
+        // block the bank: fold the pending stall into the access
+        // latency and push out the bank's ready time.
+        if (pendingStall > 0.0) {
+            done += pendingStall;
+            bk.readyAt += pendingStall;
+            bk.lastActAt += pendingStall;
+            pendingStall = 0.0;
+        }
         res = {done - now + tim.busOverhead, false, true};
     }
     return res;

@@ -50,6 +50,7 @@
 
 #include "dram/dimm_profile.hh"
 #include "dram/timing.hh"
+#include "dram/prac.hh"
 #include "dram/rfm.hh"
 #include "dram/trr.hh"
 #include "mapping/address_mapping.hh"
@@ -98,7 +99,8 @@ class Dimm
 {
   public:
     Dimm(const DimmProfile &profile, const DramTiming &timing,
-         const TrrConfig &trr_cfg, const RfmConfig &rfm_cfg = RfmConfig{});
+         const TrrConfig &trr_cfg, const RfmConfig &rfm_cfg = RfmConfig{},
+         const PracConfig &prac_cfg = PracConfig{});
 
     /** Timed access; advances internal (lazy) refresh machinery. */
     DramAccessResult access(const DramAddr &da, Ns now);
@@ -147,6 +149,17 @@ class Dimm
     std::uint64_t totalActs() const { return acts; }
     std::uint64_t trrRefreshCount() const { return trr.targetedRefreshes(); }
     std::uint64_t rfmCommandCount() const { return rfm.rfmCommands(); }
+    std::uint64_t pracAlertCount() const { return prac.alerts(); }
+
+    /** Simulated time the bank spent stalled on RFM commands. */
+    Ns rfmStallNs() const { return rfmStalls; }
+    /** Simulated time the bank spent stalled in ABO windows. */
+    Ns aboStallNs() const { return aboStalls; }
+
+    /** Refresh-management engine (RAA accounting introspection). */
+    const RfmEngine &rfmEngine() const { return rfm; }
+    /** PRAC engine (per-row counter introspection). */
+    const PracEngine &pracEngine() const { return prac; }
 
     /**
      * Restore the factory-fresh device: drops all per-row state and
@@ -296,6 +309,7 @@ class Dimm
     DramTiming tim;
     TrrSampler trr;
     RfmEngine rfm;
+    PracEngine prac;
     std::vector<BankState> banks;
     RowStoreKind store = RowStoreKind::Flat;
     std::vector<BankRows> bankRows;             //!< Flat storage
@@ -303,6 +317,14 @@ class Dimm
     std::vector<FlipRecord> flips;
     std::uint64_t acts = 0;
     Ns nextTrrTick = 0.0;
+    /**
+     * Mitigation stall accrued by the current doAct (tRFM per RFM
+     * fire, tABO per alert); access() folds it into the command's
+     * latency and the bank's readyAt, then clears it.
+     */
+    Ns pendingStall = 0.0;
+    Ns rfmStalls = 0.0;
+    Ns aboStalls = 0.0;
     double halfDoubleWeight = 0.08;
     FaultInjector *injector = nullptr;
     Tracer *tracer = nullptr;

@@ -1,0 +1,78 @@
+#include "dram/prac.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace rho
+{
+
+PracEngine::PracEngine(const PracConfig &cfg_, std::uint32_t num_banks)
+    : cfg(cfg_), counts(num_banks)
+{
+    if (cfg.enabled && cfg.threshold == 0)
+        panic("PracEngine: threshold must be positive when enabled");
+    if (cfg.enabled && cfg.aboSlots == 0)
+        panic("PracEngine: aboSlots must be positive when enabled");
+}
+
+void
+PracEngine::reset()
+{
+    for (auto &bank : counts)
+        bank.clear();
+    alertCount = 0;
+}
+
+std::uint32_t
+PracEngine::rowCount(std::uint32_t bank, std::uint64_t row) const
+{
+    const auto &table = counts[bank];
+    auto it = table.find(row);
+    return it == table.end() ? 0 : it->second;
+}
+
+PracAlertAction
+PracEngine::observeAct(std::uint32_t bank, std::uint64_t row)
+{
+    PracAlertAction action;
+    if (!cfg.enabled)
+        return action;
+
+    auto &table = counts[bank];
+    std::uint32_t &count = table[row];
+    if (++count < cfg.threshold)
+        return action;
+
+    // ALERT_n: the crossing row is serviced first, then the hottest
+    // remaining counters at or above half threshold fill the ABO
+    // service slots (hottest first, lower row number on ties — the
+    // std::map scan makes the order deterministic).
+    ++alertCount;
+    action.peak = count;
+    action.protect.push_back({bank, row});
+    count = 0;
+
+    if (cfg.aboSlots > 1) {
+        std::vector<std::pair<std::uint32_t, std::uint64_t>> hot;
+        std::uint32_t floor = cfg.threshold / 2;
+        for (const auto &[r, c] : table) {
+            if (r != row && c >= floor && c > 0)
+                hot.push_back({c, r});
+        }
+        std::sort(hot.begin(), hot.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first != b.first ? a.first > b.first
+                                                : a.second < b.second;
+                  });
+        unsigned extra = std::min<std::size_t>(cfg.aboSlots - 1,
+                                               hot.size());
+        for (unsigned i = 0; i < extra; ++i) {
+            action.protect.push_back({bank, hot[i].second});
+            table[hot[i].second] = 0;
+        }
+    }
+    return action;
+}
+
+} // namespace rho

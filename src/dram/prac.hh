@@ -1,0 +1,109 @@
+/**
+ * @file
+ * PRAC — Per-Row Activation Counting with Alert Back-Off (ABO), the
+ * DDR5 mitigation direction the paper's section 6 names as closing
+ * the sampler-starvation loophole for good.
+ *
+ * PRAC stores an activation counter *in every DRAM row*; each ACT of a
+ * row increments its own counter. The counters persist across regular
+ * REF (they live in the row's storage, not in sampler SRAM), so no
+ * amount of decoy churn or refresh phasing can make the device lose
+ * track of an aggressor. When a row's count reaches the alert
+ * threshold the device asserts ALERT_n and the host enters Alert
+ * Back-Off: it stops issuing ACTs for the tABO window while the device
+ * services the rows it knows are hottest — refreshing their
+ * neighbourhoods and resetting the serviced counters.
+ *
+ * Model simplifications (documented in DESIGN.md):
+ *  - counters are exact and per (bank, row), with no RFM-subtraction
+ *    variant (JEDEC allows decrementing instead of zeroing);
+ *  - ABO services up to `aboSlots` rows per alert: the crossing row
+ *    plus the highest remaining counters at or above half threshold
+ *    (deterministic tie-break on the lower row number);
+ *  - the back-off stall is charged to the activating bank as a flat
+ *    tABO penalty by the controller (see Dimm::access).
+ */
+
+#ifndef RHO_DRAM_PRAC_HH
+#define RHO_DRAM_PRAC_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "dram/trr.hh"
+
+namespace rho
+{
+
+/** PRAC/ABO tunables. */
+struct PracConfig
+{
+    bool enabled = false;
+    /**
+     * Per-row ACT count that asserts ALERT_n. Safe deployments pick
+     * this well below the DIMM's HC_first divided by the worst-case
+     * neighbour amplification (two distance-1 aggressors at weight 1
+     * plus two distance-2 at the half-double weight).
+     */
+    std::uint32_t threshold = 512;
+    /**
+     * Rows serviced per alert: the crossing row plus up to
+     * (aboSlots - 1) further rows whose counters reached at least half
+     * the threshold, hottest first.
+     */
+    unsigned aboSlots = 2;
+};
+
+/** What one alert serviced (empty `protect` = no alert). */
+struct PracAlertAction
+{
+    std::vector<TrrTarget> protect; //!< rows whose neighbourhoods refresh
+    std::uint32_t peak = 0;         //!< counter value that crossed
+};
+
+/**
+ * Exact per-row activation counting. The owning Dimm feeds it ACTs;
+ * it returns the rows serviced under Alert Back-Off when a counter
+ * crosses the threshold.
+ */
+class PracEngine
+{
+  public:
+    PracEngine(const PracConfig &cfg, std::uint32_t num_banks);
+
+    /**
+     * Observe one activation.
+     * @return the ABO service decision (protect empty unless ALERT_n
+     *         was asserted by this ACT).
+     */
+    PracAlertAction observeAct(std::uint32_t bank, std::uint64_t row);
+
+    bool enabled() const { return cfg.enabled; }
+
+    const PracConfig &config() const { return cfg; }
+
+    /** ALERT_n assertions (= ABO windows) so far. */
+    std::uint64_t alerts() const { return alertCount; }
+
+    /** Current counter of one row (test introspection; 0 if untracked). */
+    std::uint32_t rowCount(std::uint32_t bank, std::uint64_t row) const;
+
+    /**
+     * Restore the factory-fresh engine: drops every per-row counter
+     * and the alert count.
+     */
+    void reset();
+
+  private:
+    PracConfig cfg;
+    // Ordered map per bank: deterministic iteration for the hottest-
+    // rows scan regardless of insertion history. Campaigns touch a
+    // handful of distinct rows per bank, so the tree stays tiny.
+    std::vector<std::map<std::uint64_t, std::uint32_t>> counts;
+    std::uint64_t alertCount = 0;
+};
+
+} // namespace rho
+
+#endif // RHO_DRAM_PRAC_HH

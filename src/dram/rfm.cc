@@ -2,12 +2,55 @@
 
 #include <algorithm>
 
+#include "common/logging.hh"
+
 namespace rho
 {
+
+const char *
+rfmLevelName(RfmLevel level)
+{
+    switch (level) {
+      case RfmLevel::Off: return "off";
+      case RfmLevel::Relaxed: return "relaxed";
+      case RfmLevel::Default: return "default";
+      case RfmLevel::Strict: return "strict";
+    }
+    return "unknown";
+}
+
+RfmConfig
+RfmConfig::forLevel(RfmLevel level)
+{
+    RfmConfig cfg;
+    switch (level) {
+      case RfmLevel::Off:
+        cfg.enabled = false;
+        break;
+      case RfmLevel::Relaxed:
+        cfg.enabled = true;
+        cfg.raaimt = 64;
+        cfg.victimsPerRfm = 2;
+        break;
+      case RfmLevel::Default:
+        cfg.enabled = true;
+        cfg.raaimt = 32;
+        break;
+      case RfmLevel::Strict:
+        cfg.enabled = true;
+        cfg.raaimt = 16;
+        cfg.victimsPerRfm = 6;
+        cfg.recencyDepth = 24;
+        break;
+    }
+    return cfg;
+}
 
 RfmEngine::RfmEngine(const RfmConfig &cfg_, std::uint32_t num_banks)
     : cfg(cfg_), banks(num_banks)
 {
+    if (cfg.enabled && cfg.raaimt == 0)
+        panic("RfmEngine: raaimt must be positive when RFM is enabled");
 }
 
 void
@@ -16,16 +59,49 @@ RfmEngine::reset()
     for (BankState &b : banks)
         b = BankState{};
     rfms = 0;
+    urgentRfms = 0;
 }
 
-std::vector<TrrTarget>
+std::uint64_t
+RfmEngine::raaIncrements(std::uint32_t bank) const
+{
+    return banks[bank].increments;
+}
+
+std::uint64_t
+RfmEngine::totalRaaIncrements() const
+{
+    std::uint64_t total = 0;
+    for (const BankState &b : banks)
+        total += b.increments;
+    return total;
+}
+
+std::uint32_t
+RfmEngine::raa(std::uint32_t bank) const
+{
+    return banks[bank].raa;
+}
+
+void
+RfmEngine::onRef()
+{
+    if (!cfg.enabled)
+        return;
+    std::uint32_t dec = cfg.refDecrementEffective();
+    for (BankState &b : banks)
+        b.raa = b.raa > dec ? b.raa - dec : 0;
+}
+
+RfmAction
 RfmEngine::observeAct(std::uint32_t bank, std::uint64_t row)
 {
-    std::vector<TrrTarget> out;
+    RfmAction action;
     if (!cfg.enabled)
-        return out;
+        return action;
 
     BankState &b = banks[bank];
+    ++b.increments;
 
     // Recency list: move-to-front of distinct rows.
     auto it = std::find(b.recent.begin(), b.recent.end(), row);
@@ -35,18 +111,37 @@ RfmEngine::observeAct(std::uint32_t bank, std::uint64_t row)
     if (b.recent.size() > cfg.recencyDepth)
         b.recent.pop_back();
 
-    if (++b.raa >= cfg.raaimt) {
-        b.raa = 0;
-        ++rfms;
-        // The device refreshes the neighbourhoods of the rows it saw
-        // activated most recently — deterministic, so no pattern can
-        // hide its true aggressors from it.
-        unsigned n = std::min<unsigned>(cfg.victimsPerRfm,
-                                        b.recent.size());
-        for (unsigned i = 0; i < n; ++i)
-            out.push_back({bank, b.recent[i]});
-    }
-    return out;
+    ++b.raa;
+
+    // The controller issues the owed RFM once RAA is serviceDelayActs
+    // past RAAIMT; the RAAMMT cap forces an urgent RFM regardless of
+    // how lazy the controller is.
+    std::uint32_t cap = cfg.raammtEffective();
+    std::uint32_t fire_at = cfg.raaimt
+        + static_cast<std::uint32_t>(cfg.serviceDelayActs);
+    if (fire_at > cap)
+        fire_at = cap;
+
+    if (b.raa >= cap)
+        action.urgent = true;
+    else if (b.raa < fire_at)
+        return action;
+
+    // One RFM retires RAAIMT worth of activity; the remainder carries
+    // over into the next management interval.
+    b.raa = b.raa > cfg.raaimt ? b.raa - cfg.raaimt : 0;
+    action.fired = true;
+    ++rfms;
+    if (action.urgent)
+        ++urgentRfms;
+    // The device refreshes the neighbourhoods of the rows it saw
+    // activated most recently — deterministic, so no pattern can
+    // hide its true aggressors from it.
+    unsigned n =
+        std::min<unsigned>(cfg.victimsPerRfm, b.recent.size());
+    for (unsigned i = 0; i < n; ++i)
+        action.protect.push_back({bank, b.recent[i]});
+    return action;
 }
 
 } // namespace rho

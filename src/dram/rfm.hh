@@ -4,12 +4,23 @@
  * Future Research on DDR5").
  *
  * DDR5 devices maintain a Rolling Accumulated ACT (RAA) counter per
- * bank; when it reaches the RAAIMT threshold the controller must
- * issue an RFM command, giving the device time to refresh the rows it
- * considers most at risk. Unlike DDR4 TRR's tiny probabilistic
- * sampler, the RAA bookkeeping is deterministic and cannot be starved
- * by decoy churn — which is why the paper (and concurrent work)
- * observed no effective non-uniform pattern on DDR5 setups.
+ * bank with JEDEC-shaped bookkeeping:
+ *
+ *  - every ACT increments the bank's RAA counter;
+ *  - when RAA reaches the *initial* management threshold (RAAIMT) the
+ *    controller owes the device an RFM command; issuing it subtracts
+ *    RAAIMT from the counter (leftover activity carries over);
+ *  - every REF command subtracts a configurable amount from every
+ *    bank's counter (refDecrement) — regular refresh already covers a
+ *    slice of the disturbance budget, so the rolling count decays;
+ *  - RAA may never reach the *maximum* management threshold (RAAMMT):
+ *    a controller that deferred its RFMs (serviceDelayActs) is forced
+ *    into an urgent RFM at the cap.
+ *
+ * Unlike DDR4 TRR's tiny probabilistic sampler, the RAA bookkeeping is
+ * deterministic and cannot be starved by decoy churn — which is why
+ * the paper (and concurrent work) observed no effective non-uniform
+ * pattern on DDR5 setups.
  *
  * The model tracks per-bank RAA counters and a small recency list of
  * activated rows; every RFM event refreshes the neighbourhood of the
@@ -27,19 +38,73 @@
 namespace rho
 {
 
+/**
+ * Coarse RFM operating points (mode-register "RFM level" shorthand):
+ * how aggressively the device demands refresh management.
+ */
+enum class RfmLevel : std::uint8_t
+{
+    Off,      //!< RFM not required (DDR5 with RFM disabled)
+    Relaxed,  //!< high RAAIMT, few rows protected per RFM
+    Default,  //!< JEDEC-typical RAAIMT = 32
+    Strict,   //!< low RAAIMT, maximum protection per RFM
+};
+
+/** Stable display name ("off", "relaxed", ...). */
+const char *rfmLevelName(RfmLevel level);
+
 /** DDR5 RFM tunables (JEDEC-style knobs, simplified). */
 struct RfmConfig
 {
     bool enabled = false;
-    std::uint32_t raaimt = 32;      //!< ACTs per bank between RFMs
+    std::uint32_t raaimt = 32;      //!< initial threshold: ACTs per RFM
+    /**
+     * Maximum threshold: RAA is never allowed to reach it (urgent RFM
+     * fires at the cap). 0 selects the JEDEC-typical 6 * raaimt.
+     */
+    std::uint32_t raammt = 0;
+    /**
+     * RAA subtracted from every bank per REF command (saturating at
+     * zero). 0 selects the JEDEC-typical raaimt / 2.
+     */
+    std::uint32_t refDecrement = 0;
+    /**
+     * ACTs the controller may defer an owed RFM past RAAIMT (models a
+     * lazy controller batching RFMs). 0 = issue promptly. Deferral is
+     * bounded by RAAMMT regardless.
+     */
+    unsigned serviceDelayActs = 0;
     unsigned victimsPerRfm = 4;     //!< rows protected per RFM
     unsigned recencyDepth = 16;     //!< distinct rows tracked per bank
+
+    std::uint32_t
+    raammtEffective() const
+    {
+        return raammt != 0 ? raammt : 6 * raaimt;
+    }
+
+    std::uint32_t
+    refDecrementEffective() const
+    {
+        return refDecrement != 0 ? refDecrement : raaimt / 2;
+    }
+
+    /** The operating point for one RFM level. */
+    static RfmConfig forLevel(RfmLevel level);
+};
+
+/** What one observed ACT made the refresh-management machinery do. */
+struct RfmAction
+{
+    std::vector<TrrTarget> protect; //!< rows to protect now
+    bool fired = false;             //!< an RFM command was issued
+    bool urgent = false;            //!< the RAAMMT cap forced it
 };
 
 /**
  * Per-bank RAA counters + recency tracking. The owning Dimm feeds it
- * ACTs; it returns rows whose neighbourhoods must be refreshed when
- * an RFM fires.
+ * ACTs and REF commands; it returns rows whose neighbourhoods must be
+ * refreshed when an RFM fires.
  */
 class RfmEngine
 {
@@ -48,18 +113,44 @@ class RfmEngine
 
     /**
      * Observe one activation.
-     * @return rows to protect now (empty unless an RFM fired).
+     * @return the RFM decision (protect list empty unless one fired).
      */
-    std::vector<TrrTarget> observeAct(std::uint32_t bank,
-                                      std::uint64_t row);
+    RfmAction observeAct(std::uint32_t bank, std::uint64_t row);
+
+    /**
+     * Observe one REF command: every bank's RAA counter is decremented
+     * by refDecrement (saturating at zero). Per JEDEC, regular refresh
+     * subtracts from the rolling count — a previous revision of this
+     * model never decayed RAA on REF and over-fired RFMs.
+     */
+    void onRef();
 
     std::uint64_t rfmCommands() const { return rfms; }
 
+    /** RFMs forced by the RAAMMT cap (subset of rfmCommands()). */
+    std::uint64_t urgentRfmCommands() const { return urgentRfms; }
+
+    /**
+     * Total RAA increments observed for one bank — exactly one per
+     * ACT, so campaign accounting can be cross-checked against the
+     * device's ACT stream (metamorphic RAA test).
+     */
+    std::uint64_t raaIncrements(std::uint32_t bank) const;
+
+    /** Sum of raaIncrements over all banks. */
+    std::uint64_t totalRaaIncrements() const;
+
+    /** Current RAA counter of one bank (test introspection). */
+    std::uint32_t raa(std::uint32_t bank) const;
+
     bool enabled() const { return cfg.enabled; }
+
+    const RfmConfig &config() const { return cfg; }
 
     /**
      * Restore the factory-fresh engine: zeroes every bank's RAA
-     * counter and recency list plus the RFM command count.
+     * counter, increment accounting and recency list plus the RFM
+     * command counts.
      */
     void reset();
 
@@ -67,12 +158,14 @@ class RfmEngine
     struct BankState
     {
         std::uint32_t raa = 0;
+        std::uint64_t increments = 0;
         std::vector<std::uint64_t> recent; // most recent first
     };
 
     RfmConfig cfg;
     std::vector<BankState> banks;
     std::uint64_t rfms = 0;
+    std::uint64_t urgentRfms = 0;
 };
 
 } // namespace rho

@@ -31,6 +31,9 @@ DramTiming::ddr4(unsigned mtps)
     t.tRAS = 32.0;
     t.tRC = t.tRAS + t.tRP;
     t.tRFC = 350.0;
+    // RFM/ABO do not exist on DDR4; the values only matter when a
+    // DDR4-grade device is simulated with the DDR5 mitigations on.
+    t.tRFM = 350.0;
     t.busOverhead = 32.0; // core + uncore + controller queueing
     return t;
 }

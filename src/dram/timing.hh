@@ -33,6 +33,17 @@ struct DramTiming
      */
     Ns tREFW = 8.0e6;
     Ns busOverhead;      //!< fixed core-to-DRAM round-trip overhead
+    /**
+     * RFM command period: the bank is blocked while the device
+     * performs refresh management (DDR5; charged by the controller
+     * when an RFM fires).
+     */
+    Ns tRFM = 195.0;
+    /**
+     * PRAC Alert Back-Off window: ACT-issue pause after ALERT_n while
+     * the device services its hottest rows.
+     */
+    Ns tABO = 180.0;
 
     /** Number of refresh commands per retention window. */
     static constexpr unsigned refreshSlots = 1024;

@@ -1,0 +1,113 @@
+#include "hammer/bypass_search.hh"
+
+namespace rho
+{
+
+std::vector<MitigationConfig>
+mitigationFrontier()
+{
+    std::vector<MitigationConfig> frontier;
+
+    // DDR4 baseline: the probabilistic sampler alone. Non-uniform
+    // fuzzing finds patterns that evade it (paper Table 6).
+    {
+        MitigationConfig c;
+        c.name = "trr-only";
+        frontier.push_back(c);
+    }
+
+    for (RfmLevel level :
+         {RfmLevel::Relaxed, RfmLevel::Default, RfmLevel::Strict}) {
+        MitigationConfig c;
+        c.name = std::string("rfm-") + rfmLevelName(level);
+        c.rfm = RfmConfig::forLevel(level);
+        frontier.push_back(c);
+    }
+
+    // Deliberately weak PRAC: the threshold sits above the weakest
+    // cells' flip threshold, so the exact counters fire too late and
+    // fuzzing can still find flips. Included so the bench demonstrates
+    // that PRAC's guarantee is conditional on correct provisioning.
+    {
+        MitigationConfig c;
+        c.name = "prac-weak";
+        c.prac.enabled = true;
+        c.prac.threshold = 8192;
+        frontier.push_back(c);
+    }
+
+    // Correctly provisioned PRAC: threshold well below the minimum
+    // hammer count, so no row can accumulate a flipping disturbance
+    // between ALERT services.
+    {
+        MitigationConfig c;
+        c.name = "prac-512";
+        c.prac.enabled = true;
+        c.prac.threshold = 512;
+        frontier.push_back(c);
+    }
+
+    // Belt and braces: strict RFM plus provisioned PRAC.
+    {
+        MitigationConfig c;
+        c.name = "rfm-strict+prac";
+        c.rfm = RfmConfig::forLevel(RfmLevel::Strict);
+        c.prac.enabled = true;
+        c.prac.threshold = 512;
+        frontier.push_back(c);
+    }
+
+    return frontier;
+}
+
+BypassReport
+bypassSearch(Arch arch, const DimmProfile &dimm, const HammerConfig &cfg,
+             const std::vector<MitigationConfig> &frontier,
+             const BypassParams &params, MetricsRegistry *metrics)
+{
+    BypassReport report;
+    report.configs.reserve(frontier.size());
+
+    for (const MitigationConfig &mit : frontier) {
+        SystemSpec spec(arch, dimm, mit.trr, mit.rfm);
+        spec.prac = mit.prac;
+
+        FuzzParams fuzz = params.fuzz;
+        // One journal file per frontier point: the journal header
+        // carries a single campaign key, so sharing one file across
+        // configurations would discard the previous configuration's
+        // records on every switch.
+        if (!fuzz.checkpointPath.empty())
+            fuzz.checkpointPath += "." + mit.name;
+
+        MetricsRegistry local;
+        BypassConfigResult r;
+        r.name = mit.name;
+        r.fuzz = fuzzCampaign(spec, cfg, fuzz, params.seed, nullptr,
+                              &local);
+        r.acts = local.value("dram.acts");
+        r.trrRefreshes = local.value("dram.refreshes.trr");
+        r.rfmCommands = local.value("dram.refreshes.rfm");
+        r.pracAlerts = local.value("dram.alerts.prac");
+        r.bypassed = r.fuzz.totalFlips > 0;
+        if (r.fuzz.simTimeNs > 0.0) {
+            r.flipsPerMinute = static_cast<double>(r.fuzz.totalFlips)
+                / (r.fuzz.simTimeNs / 6.0e10);
+        }
+
+        if (metrics) {
+            metrics->merge(local);
+            const std::string p = "bypass." + mit.name + ".";
+            metrics->set(p + "flips", r.fuzz.totalFlips);
+            metrics->set(p + "effective_patterns",
+                         r.fuzz.effectivePatterns);
+            metrics->set(p + "rfm_commands", r.rfmCommands);
+            metrics->set(p + "prac_alerts", r.pracAlerts);
+            metrics->set(p + "bypassed", r.bypassed ? 1 : 0);
+        }
+        report.configs.push_back(std::move(r));
+    }
+    return report;
+}
+
+} // namespace rho

@@ -59,6 +59,7 @@ struct FuzzTaskResult
     std::uint64_t acts = 0;
     std::uint64_t trrRefreshes = 0;
     std::uint64_t rfmCommands = 0;
+    std::uint64_t pracAlerts = 0;
     // Per-task trace; never journaled (tracing bypasses restores).
     std::vector<TraceEvent> events;
 };
@@ -66,8 +67,8 @@ struct FuzzTaskResult
 /**
  * Journal payload: the numeric outcome only. The pattern itself is a
  * pure function of the task seed and is regenerated on replay. The
- * kind is "fuzz2" — pre-metrics "fuzz" journals are discarded via the
- * kind mismatch.
+ * kind is "fuzz3" — earlier formats ("fuzz", "fuzz2" without the PRAC
+ * counter) are discarded via the kind mismatch.
  */
 std::string
 serializeFuzzTask(const FuzzTaskResult &r)
@@ -75,7 +76,7 @@ serializeFuzzTask(const FuzzTaskResult &r)
     std::ostringstream out;
     out << r.flips << " " << r.dramAccesses << " "
         << encodeDouble(r.simTimeNs) << " " << r.acts << " "
-        << r.trrRefreshes << " " << r.rfmCommands;
+        << r.trrRefreshes << " " << r.rfmCommands << " " << r.pracAlerts;
     return out.str();
 }
 
@@ -85,7 +86,7 @@ parseFuzzTask(const std::string &payload, FuzzTaskResult &r)
     std::istringstream in(payload);
     std::string sim_hex;
     if (!(in >> r.flips >> r.dramAccesses >> sim_hex >> r.acts
-          >> r.trrRefreshes >> r.rfmCommands))
+          >> r.trrRefreshes >> r.rfmCommands >> r.pracAlerts))
         return false;
     auto sim = decodeDouble(sim_hex);
     if (!sim)
@@ -115,7 +116,7 @@ fuzzCampaign(const SystemSpec &spec, const HammerConfig &cfg,
         key = hashCombine(key, params.patternParams.maxFreqLog2);
         key = hashCombine(key, params.patternParams.maxAmpLog2);
         journal = std::make_shared<TaskJournal>(params.checkpointPath,
-                                                key, "fuzz2");
+                                                key, "fuzz3");
     }
     std::atomic<std::uint64_t> restored{0};
 
@@ -152,6 +153,7 @@ fuzzCampaign(const SystemSpec &spec, const HammerConfig &cfg,
         r.acts = sys.dimm().totalActs();
         r.trrRefreshes = sys.dimm().trrRefreshCount();
         r.rfmCommands = sys.dimm().rfmCommandCount();
+        r.pracAlerts = sys.dimm().pracAlertCount();
         if (tracing) {
             r.events = tracer.events();
             sys.attachTracer(nullptr);
@@ -189,6 +191,7 @@ fuzzCampaign(const SystemSpec &spec, const HammerConfig &cfg,
             metrics->add("dram.acts", t.acts);
             metrics->add("dram.refreshes.trr", t.trrRefreshes);
             metrics->add("dram.refreshes.rfm", t.rfmCommands);
+            metrics->add("dram.alerts.prac", t.pracAlerts);
             metrics->add("cpu.dram_accesses", t.dramAccesses);
             metrics->add("hammer.flips", t.flips);
         }

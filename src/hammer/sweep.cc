@@ -28,6 +28,28 @@ campaignKey(const SystemSpec &spec, const HammerConfig &cfg,
     key = hashCombine(key, cfg.accessBudget);
     key = hashCombine(key, cfg.victimFill);
     key = hashCombine(key, cfg.aggrFill);
+    // Mitigation configuration: a bypass search runs many campaigns
+    // against one checkpoint path that differ only in TRR/RFM/PRAC
+    // settings; the key must separate them or a journal recorded under
+    // one config would be replayed under another.
+    key = hashCombine(key, spec.trr.enabled ? 1 : 0);
+    key = hashCombine(key, spec.trr.counters);
+    key = hashCombine(key, traceBits(spec.trr.sampleProb));
+    key = hashCombine(key, spec.trr.matchThreshold);
+    key = hashCombine(key, spec.trr.maxRefreshesPerTick);
+    key = hashCombine(key, spec.trr.ptrr ? 1 : 0);
+    key = hashCombine(key, traceBits(spec.trr.ptrrSampleProb));
+    key = hashCombine(key, spec.trr.seed);
+    key = hashCombine(key, spec.rfm.enabled ? 1 : 0);
+    key = hashCombine(key, spec.rfm.raaimt);
+    key = hashCombine(key, spec.rfm.raammt);
+    key = hashCombine(key, spec.rfm.refDecrement);
+    key = hashCombine(key, spec.rfm.serviceDelayActs);
+    key = hashCombine(key, spec.rfm.victimsPerRfm);
+    key = hashCombine(key, spec.rfm.recencyDepth);
+    key = hashCombine(key, spec.prac.enabled ? 1 : 0);
+    key = hashCombine(key, spec.prac.threshold);
+    key = hashCombine(key, spec.prac.aboSlots);
     return key;
 }
 
@@ -83,6 +105,7 @@ struct SweepTaskResult
     std::uint64_t acts = 0;
     std::uint64_t trrRefreshes = 0;
     std::uint64_t rfmCommands = 0;
+    std::uint64_t pracAlerts = 0;
     std::uint64_t dramAccesses = 0;
     // Per-task trace; never journaled (tracing bypasses restores).
     std::vector<TraceEvent> events;
@@ -90,8 +113,9 @@ struct SweepTaskResult
 
 /**
  * One journal line: flips, sim time, flip records, then the metric
- * totals. The journal kind is "sweep2" — the "sweep" format without
- * metrics does not parse and is discarded via the kind mismatch.
+ * totals. The journal kind is "sweep3" — earlier formats ("sweep",
+ * "sweep2" without the PRAC counter) do not parse and are discarded
+ * via the kind mismatch.
  */
 std::string
 serializeSweepTask(const SweepTaskResult &r)
@@ -104,7 +128,7 @@ serializeSweepTask(const SweepTaskResult &r)
             << (f.toOne ? 1 : 0) << " " << encodeDouble(f.when);
     }
     out << " " << r.acts << " " << r.trrRefreshes << " " << r.rfmCommands
-        << " " << r.dramAccesses;
+        << " " << r.pracAlerts << " " << r.dramAccesses;
     return out.str();
 }
 
@@ -135,7 +159,7 @@ parseSweepTask(const std::string &payload)
         f.when = *when;
         r.flipList.push_back(f);
     }
-    if (!(in >> r.acts >> r.trrRefreshes >> r.rfmCommands
+    if (!(in >> r.acts >> r.trrRefreshes >> r.rfmCommands >> r.pracAlerts
           >> r.dramAccesses))
         return std::nullopt;
     return r;
@@ -158,7 +182,7 @@ sweepCampaign(const SystemSpec &spec, const HammerPattern &pattern,
         key = hashCombine(key, params.numLocations);
         key = hashCombine(key, pattern.id());
         journal = std::make_shared<TaskJournal>(params.checkpointPath,
-                                                key, "sweep2");
+                                                key, "sweep3");
     }
     std::atomic<std::uint64_t> restored{0};
 
@@ -192,6 +216,7 @@ sweepCampaign(const SystemSpec &spec, const HammerPattern &pattern,
         r.acts = sys.dimm().totalActs();
         r.trrRefreshes = sys.dimm().trrRefreshCount();
         r.rfmCommands = sys.dimm().rfmCommandCount();
+        r.pracAlerts = sys.dimm().pracAlertCount();
         r.dramAccesses = out.perf.dramAccesses;
         if (tracing)
             r.events = tracer.events();
@@ -224,6 +249,7 @@ sweepCampaign(const SystemSpec &spec, const HammerPattern &pattern,
             metrics->add("dram.acts", t.acts);
             metrics->add("dram.refreshes.trr", t.trrRefreshes);
             metrics->add("dram.refreshes.rfm", t.rfmCommands);
+            metrics->add("dram.alerts.prac", t.pracAlerts);
             metrics->add("cpu.dram_accesses", t.dramAccesses);
             metrics->add("hammer.flips", t.flips);
         }

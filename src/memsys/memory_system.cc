@@ -12,7 +12,7 @@ SystemSpec::instantiate(std::uint64_t seed) const
 {
     if (!dimm)
         panic("SystemSpec::instantiate: no DIMM profile set");
-    MemorySystem sys(arch, *dimm, trr, seed, rfm);
+    MemorySystem sys(arch, *dimm, trr, seed, rfm, prac);
     if (referenceRowStore)
         sys.dimm().setRowStore(RowStoreKind::Reference);
     return sys;
@@ -20,16 +20,18 @@ SystemSpec::instantiate(std::uint64_t seed) const
 
 MemorySystem::MemorySystem(Arch arch, const DimmProfile &dimm,
                            const TrrConfig &trr_cfg, std::uint64_t seed,
-                           const RfmConfig &rfm_cfg)
+                           const RfmConfig &rfm_cfg,
+                           const PracConfig &prac_cfg)
     : MemorySystem(arch, dimm,
                    mappingFor(arch, dimm.geom.sizeGib(), dimm.geom.ranks),
-                   trr_cfg, seed, rfm_cfg)
+                   trr_cfg, seed, rfm_cfg, prac_cfg)
 {
 }
 
 MemorySystem::MemorySystem(Arch arch, const DimmProfile &dimm,
                            AddressMapping mapping, const TrrConfig &trr_cfg,
-                           std::uint64_t seed, const RfmConfig &rfm_cfg)
+                           std::uint64_t seed, const RfmConfig &rfm_cfg,
+                           const PracConfig &prac_cfg)
     : archId(arch), params(&ArchParams::forArch(arch))
 {
     // The platform clamps the DIMM to its supported data rate; DDR5
@@ -40,7 +42,7 @@ MemorySystem::MemorySystem(Arch arch, const DimmProfile &dimm,
     mc = std::make_unique<MemoryController>(
         std::move(mapping), dimm,
         ddr5 ? DramTiming::ddr5(mts) : DramTiming::ddr4(mts), trr_cfg,
-        rfm_cfg);
+        rfm_cfg, prac_cfg);
     (void)seed;
 }
 

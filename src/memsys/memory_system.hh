@@ -38,7 +38,8 @@ class MemorySystem : public MemoryBackend
     MemorySystem(Arch arch, const DimmProfile &dimm,
                  const TrrConfig &trr_cfg = TrrConfig{},
                  std::uint64_t seed = 1,
-                 const RfmConfig &rfm_cfg = RfmConfig{});
+                 const RfmConfig &rfm_cfg = RfmConfig{},
+                 const PracConfig &prac_cfg = PracConfig{});
 
     /**
      * Build with an explicit mapping (used by reverse-engineering
@@ -47,7 +48,8 @@ class MemorySystem : public MemoryBackend
     MemorySystem(Arch arch, const DimmProfile &dimm,
                  AddressMapping mapping, const TrrConfig &trr_cfg,
                  std::uint64_t seed,
-                 const RfmConfig &rfm_cfg = RfmConfig{});
+                 const RfmConfig &rfm_cfg = RfmConfig{},
+                 const PracConfig &prac_cfg = PracConfig{});
 
     // MemoryBackend
     Ns dramAccess(PhysAddr pa, Ns now) override;
@@ -140,6 +142,7 @@ struct SystemSpec
     const DimmProfile *dimm = nullptr;
     TrrConfig trr{};
     RfmConfig rfm{};
+    PracConfig prac{};
     TraceConfig trace{}; //!< campaign workers trace per-task when enabled
 
     /**

@@ -34,6 +34,9 @@ eventKindName(EventKind k)
       case EventKind::PhaseEnd: return "phase_end";
       case EventKind::AttackDecision: return "attack_decision";
       case EventKind::Retry: return "retry";
+      case EventKind::PracAlert: return "prac_alert";
+      case EventKind::AboRefresh: return "abo_refresh";
+      case EventKind::MitigationStall: return "mitigation_stall";
     }
     return "unknown";
 }

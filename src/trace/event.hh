@@ -72,11 +72,17 @@ enum class EventKind : std::uint8_t
     PhaseEnd,        //!< a=SimPhase, c=outcome count (flips, ...)
     AttackDecision,  //!< a=SimPhase, b=FailureCode, flags=success
     Retry,           //!< a=SimPhase, c=backoff ns bits
+
+    // ---- DDR5 PRAC / refresh management (category Trr; appended so
+    // ---- committed goldens keep their kind bytes) --------------------
+    PracAlert,       //!< a=bank, b=row that crossed, c=counter value
+    AboRefresh,      //!< a=bank, b=row serviced during Alert Back-Off
+    MitigationStall, //!< a=bank, c=stall ns bits, flags=0 RFM / 1 ABO
 };
 
 /** Number of distinct event kinds (array sizing). */
 constexpr unsigned numEventKinds =
-    static_cast<unsigned>(EventKind::Retry) + 1;
+    static_cast<unsigned>(EventKind::MitigationStall) + 1;
 
 /** Why a row's accumulated disturbance was dropped (DisturbReset). */
 enum class ResetSource : std::uint8_t
@@ -88,6 +94,7 @@ enum class ResetSource : std::uint8_t
     SelfAct = 4,      //!< the row itself was activated
     DataWrite = 5,    //!< functional write/fill restored the row
     DataRead = 6,     //!< functional read activated the row
+    PracNeighbor = 7, //!< DDR5 PRAC Alert Back-Off service
 };
 
 /** Which injector channel delivered a fault (FaultDelivered). */
@@ -152,6 +159,9 @@ categoryOf(EventKind k)
       case EventKind::TrrTargetedRefresh:
       case EventKind::PtrrRefresh:
       case EventKind::RfmRefresh:
+      case EventKind::PracAlert:
+      case EventKind::AboRefresh:
+      case EventKind::MitigationStall:
         return CatTrr;
       case EventKind::Disturb:
         return CatDisturb;

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Mitigation-bypass search: frontier sanity, bit-identical results for
+ * any worker count, and checkpoint/resume transparency.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "hammer/bypass_search.hh"
+#include "hammer/sweep.hh"
+#include "hammer/tuned_configs.hh"
+
+using namespace rho;
+
+namespace
+{
+
+/** Small-but-real search sizing shared by the determinism tests. */
+BypassParams
+smallParams()
+{
+    BypassParams params;
+    params.fuzz.numPatterns = 6;
+    params.fuzz.locationsPerPattern = 1;
+    params.seed = 42;
+    return params;
+}
+
+HammerConfig
+searchConfig()
+{
+    return rhoConfig(Arch::RaptorLake, true, 60000);
+}
+
+/** Field-wise exact equality of two reports. */
+void
+expectReportsEqual(const BypassReport &a, const BypassReport &b)
+{
+    ASSERT_EQ(a.configs.size(), b.configs.size());
+    for (std::size_t i = 0; i < a.configs.size(); ++i) {
+        const BypassConfigResult &x = a.configs[i];
+        const BypassConfigResult &y = b.configs[i];
+        EXPECT_EQ(x.name, y.name);
+        EXPECT_EQ(x.fuzz.totalFlips, y.fuzz.totalFlips) << x.name;
+        EXPECT_EQ(x.fuzz.bestPatternFlips, y.fuzz.bestPatternFlips)
+            << x.name;
+        EXPECT_EQ(x.fuzz.effectivePatterns, y.fuzz.effectivePatterns)
+            << x.name;
+        EXPECT_EQ(x.fuzz.dramAccesses, y.fuzz.dramAccesses) << x.name;
+        EXPECT_EQ(x.fuzz.simTimeNs, y.fuzz.simTimeNs) << x.name;
+        EXPECT_EQ(x.fuzz.bestPattern.has_value(),
+                  y.fuzz.bestPattern.has_value())
+            << x.name;
+        if (x.fuzz.bestPattern && y.fuzz.bestPattern) {
+            EXPECT_EQ(x.fuzz.bestPattern->id(), y.fuzz.bestPattern->id())
+                << x.name;
+        }
+        EXPECT_EQ(x.acts, y.acts) << x.name;
+        EXPECT_EQ(x.trrRefreshes, y.trrRefreshes) << x.name;
+        EXPECT_EQ(x.rfmCommands, y.rfmCommands) << x.name;
+        EXPECT_EQ(x.pracAlerts, y.pracAlerts) << x.name;
+        EXPECT_EQ(x.bypassed, y.bypassed) << x.name;
+    }
+}
+
+} // namespace
+
+TEST(MitigationFrontier, NamesAreUniqueAndOrdered)
+{
+    auto frontier = mitigationFrontier();
+    ASSERT_GE(frontier.size(), 5u);
+    EXPECT_EQ(frontier.front().name, "trr-only");
+    std::set<std::string> names;
+    for (const auto &c : frontier) {
+        EXPECT_TRUE(names.insert(c.name).second)
+            << "duplicate config name " << c.name;
+    }
+    // The baseline runs no DDR5 mitigation; the endpoint runs both.
+    EXPECT_FALSE(frontier.front().rfm.enabled);
+    EXPECT_FALSE(frontier.front().prac.enabled);
+    EXPECT_TRUE(frontier.back().rfm.enabled);
+    EXPECT_TRUE(frontier.back().prac.enabled);
+}
+
+TEST(MitigationFrontier, CampaignKeySeparatesConfigs)
+{
+    // The checkpoint key must fingerprint the mitigation settings, or
+    // a bypass search sharing one journal directory would replay one
+    // configuration's results under another.
+    const DimmProfile &d1 = DimmProfile::ddr5Sample();
+    HammerConfig cfg = searchConfig();
+    std::set<std::uint64_t> keys;
+    for (const MitigationConfig &mit : mitigationFrontier()) {
+        SystemSpec spec(Arch::RaptorLake, d1, mit.trr, mit.rfm);
+        spec.prac = mit.prac;
+        EXPECT_TRUE(keys.insert(campaignKey(spec, cfg, 42)).second)
+            << "config " << mit.name
+            << " collides with a previous campaign key";
+    }
+}
+
+TEST(BypassSearch, BitIdenticalAcrossJobCounts)
+{
+    const DimmProfile &d1 = DimmProfile::ddr5Sample();
+    // Two frontier points exercise both engines without making the
+    // determinism check slow; full-frontier behaviour is covered by
+    // the sec06 bench.
+    std::vector<MitigationConfig> frontier;
+    for (const auto &c : mitigationFrontier()) {
+        if (c.name == "trr-only" || c.name == "rfm-strict+prac")
+            frontier.push_back(c);
+    }
+    ASSERT_EQ(frontier.size(), 2u);
+
+    BypassParams one = smallParams();
+    one.fuzz.jobs = 1;
+    BypassParams eight = smallParams();
+    eight.fuzz.jobs = 8;
+
+    BypassReport a =
+        bypassSearch(Arch::RaptorLake, d1, searchConfig(), frontier, one);
+    BypassReport b = bypassSearch(Arch::RaptorLake, d1, searchConfig(),
+                                  frontier, eight);
+    expectReportsEqual(a, b);
+    // The baseline must be doing real work for the comparison to mean
+    // anything.
+    EXPECT_GT(a.configs[0].acts, 0u);
+}
+
+TEST(BypassSearch, CheckpointResumeIsTransparent)
+{
+    const DimmProfile &d1 = DimmProfile::ddr5Sample();
+    std::vector<MitigationConfig> frontier;
+    for (const auto &c : mitigationFrontier()) {
+        if (c.name == "trr-only" || c.name == "prac-512")
+            frontier.push_back(c);
+    }
+    ASSERT_EQ(frontier.size(), 2u);
+
+    std::string base = testing::TempDir() + "rho_bypass.journal";
+    for (const auto &c : frontier)
+        std::remove((base + "." + c.name).c_str());
+
+    BypassParams params = smallParams();
+    params.fuzz.jobs = 2;
+    params.fuzz.checkpointPath = base;
+
+    BypassReport cold = bypassSearch(Arch::RaptorLake, d1, searchConfig(),
+                                     frontier, params);
+    // One journal per frontier point, named after the config.
+    for (const auto &c : frontier) {
+        FILE *f = std::fopen((base + "." + c.name).c_str(), "rb");
+        ASSERT_NE(f, nullptr) << "missing journal for " << c.name;
+        std::fclose(f);
+    }
+
+    // Resume replays every task from the journals; a different job
+    // count on the resumed run must not matter either.
+    BypassParams resume = params;
+    resume.fuzz.jobs = 8;
+    BypassReport warm = bypassSearch(Arch::RaptorLake, d1, searchConfig(),
+                                     frontier, resume);
+    expectReportsEqual(cold, warm);
+
+    // And a checkpoint-free run agrees with both: journaling is an
+    // optimization, never an observable.
+    BypassParams bare = smallParams();
+    bare.fuzz.jobs = 2;
+    BypassReport none = bypassSearch(Arch::RaptorLake, d1, searchConfig(),
+                                     frontier, bare);
+    expectReportsEqual(cold, none);
+
+    for (const auto &c : frontier)
+        std::remove((base + "." + c.name).c_str());
+}
+
+TEST(BypassSearch, TrrOnlyBypassedStrictDefensesHold)
+{
+    // The headline claim at test scale: fuzzing finds flip-producing
+    // patterns against the DDR4-style sampler, while provisioned
+    // PRAC yields none.
+    const DimmProfile &d1 = DimmProfile::ddr5Sample();
+    std::vector<MitigationConfig> frontier;
+    for (const auto &c : mitigationFrontier()) {
+        if (c.name == "trr-only" || c.name == "prac-512"
+            || c.name == "rfm-strict+prac")
+            frontier.push_back(c);
+    }
+    BypassParams params = smallParams();
+    params.fuzz.numPatterns = 8;
+
+    MetricsRegistry metrics;
+    BypassReport report = bypassSearch(Arch::RaptorLake, d1,
+                                       searchConfig(), frontier, params,
+                                       &metrics);
+    ASSERT_EQ(report.configs.size(), 3u);
+    EXPECT_TRUE(report.configs[0].bypassed) << "TRR evasion regressed";
+    EXPECT_FALSE(report.configs[1].bypassed);
+    EXPECT_FALSE(report.configs[2].bypassed);
+    EXPECT_EQ(report.bypassedCount(), 1u);
+    // PRAC engaged (alerts fired) rather than the hammer going idle.
+    EXPECT_GT(report.configs[1].pracAlerts, 0u);
+    // The per-config metrics mirror the report.
+    EXPECT_EQ(metrics.value("bypass.trr-only.bypassed"), 1u);
+    EXPECT_EQ(metrics.value("bypass.prac-512.flips"), 0u);
+    EXPECT_GT(metrics.value("bypass.prac-512.prac_alerts"), 0u);
+}

@@ -3,6 +3,8 @@
  * Tests for the DDR5 Refresh Management model (paper section 6):
  * deterministic RAA accounting cannot be evaded by non-uniform
  * patterns, so no flips survive on DDR5 — the paper's observation.
+ * Includes the regression pins for the REF-decrement fix: a previous
+ * revision never subtracted from RAA on REF and over-fired RFMs.
  */
 
 #include <gtest/gtest.h>
@@ -22,12 +24,16 @@ TEST(RfmEngine, FiresEveryRaaimtActs)
     RfmEngine rfm(cfg, 2);
     unsigned fired = 0;
     for (int i = 0; i < 64; ++i) {
-        auto targets = rfm.observeAct(0, 100 + (i % 3));
-        if (!targets.empty())
+        RfmAction a = rfm.observeAct(0, 100 + (i % 3));
+        if (a.fired) {
+            EXPECT_FALSE(a.protect.empty());
+            EXPECT_FALSE(a.urgent); // never hit the RAAMMT cap
             ++fired;
+        }
     }
     EXPECT_EQ(fired, 8u);
     EXPECT_EQ(rfm.rfmCommands(), 8u);
+    EXPECT_EQ(rfm.urgentRfmCommands(), 0u);
 }
 
 TEST(RfmEngine, ProtectsMostRecentRows)
@@ -40,10 +46,11 @@ TEST(RfmEngine, ProtectsMostRecentRows)
     rfm.observeAct(0, 10);
     rfm.observeAct(0, 20);
     rfm.observeAct(0, 30);
-    auto targets = rfm.observeAct(0, 40);
-    ASSERT_EQ(targets.size(), 2u);
-    EXPECT_EQ(targets[0].row, 40u); // most recent first
-    EXPECT_EQ(targets[1].row, 30u);
+    RfmAction a = rfm.observeAct(0, 40);
+    ASSERT_TRUE(a.fired);
+    ASSERT_EQ(a.protect.size(), 2u);
+    EXPECT_EQ(a.protect[0].row, 40u); // most recent first
+    EXPECT_EQ(a.protect[1].row, 30u);
 }
 
 TEST(RfmEngine, PerBankCounters)
@@ -54,15 +61,130 @@ TEST(RfmEngine, PerBankCounters)
     RfmEngine rfm(cfg, 4);
     // Spread ACTs over 4 banks: no single bank reaches the threshold.
     for (int i = 0; i < 28; ++i)
-        EXPECT_TRUE(rfm.observeAct(i % 4, 5).empty());
+        EXPECT_FALSE(rfm.observeAct(i % 4, 5).fired);
 }
 
 TEST(RfmEngine, DisabledIsTransparent)
 {
     RfmEngine rfm(RfmConfig{}, 1);
     for (int i = 0; i < 1000; ++i)
-        EXPECT_TRUE(rfm.observeAct(0, 1).empty());
+        EXPECT_FALSE(rfm.observeAct(0, 1).fired);
     EXPECT_EQ(rfm.rfmCommands(), 0u);
+}
+
+TEST(RfmEngine, RefDecrementExactCadence)
+{
+    // Regression pin for the REF-decrement fix. raaimt=8, REF
+    // subtracts 3, workload repeats [5 ACTs, 1 REF]. By hand:
+    //   iter 1: raa 0->5, REF -> 2
+    //   iter 2: raa 2->7, REF -> 4
+    //   iter 3: raa 4->8 fires mid-iter (-8), ends 1, REF -> 0
+    // — a period of 3 iterations with exactly one RFM. The buggy model
+    // (no decrement) fired floor(150/8) = 18 times instead of 10.
+    RfmConfig cfg;
+    cfg.enabled = true;
+    cfg.raaimt = 8;
+    cfg.refDecrement = 3;
+    RfmEngine rfm(cfg, 1);
+    for (int iter = 0; iter < 30; ++iter) {
+        for (int a = 0; a < 5; ++a)
+            rfm.observeAct(0, 100 + a);
+        rfm.onRef();
+    }
+    EXPECT_EQ(rfm.rfmCommands(), 10u);
+    EXPECT_EQ(rfm.raaIncrements(0), 150u);
+}
+
+TEST(RfmEngine, RefAbsorbsSlowActivity)
+{
+    // An ACT rate at or below the REF decrement rate never owes an
+    // RFM: regular refresh already covers that disturbance budget.
+    RfmConfig cfg;
+    cfg.enabled = true;
+    cfg.raaimt = 8;
+    cfg.refDecrement = 4;
+    RfmEngine rfm(cfg, 1);
+    for (int iter = 0; iter < 100; ++iter) {
+        for (int a = 0; a < 4; ++a)
+            rfm.observeAct(0, 200 + a);
+        rfm.onRef();
+    }
+    EXPECT_EQ(rfm.rfmCommands(), 0u);
+}
+
+TEST(RfmEngine, RefDecrementSaturatesAtZero)
+{
+    RfmConfig cfg;
+    cfg.enabled = true;
+    cfg.raaimt = 8;
+    RfmEngine rfm(cfg, 1);
+    rfm.observeAct(0, 1);
+    EXPECT_EQ(rfm.raa(0), 1u);
+    rfm.onRef(); // default decrement raaimt/2 = 4 > 1: clamps to 0
+    EXPECT_EQ(rfm.raa(0), 0u);
+    rfm.onRef();
+    EXPECT_EQ(rfm.raa(0), 0u);
+}
+
+TEST(RfmEngine, RaammtCapForcesUrgentRfm)
+{
+    // A lazy controller (large serviceDelayActs) cannot defer past the
+    // maximum threshold: the cap forces an urgent RFM.
+    RfmConfig cfg;
+    cfg.enabled = true;
+    cfg.raaimt = 8;
+    cfg.serviceDelayActs = 1000;
+    cfg.raammt = 16;
+    RfmEngine rfm(cfg, 1);
+    unsigned fired_at = 0;
+    for (unsigned i = 1; i <= 16; ++i) {
+        RfmAction a = rfm.observeAct(0, 300);
+        if (a.fired) {
+            EXPECT_TRUE(a.urgent);
+            fired_at = i;
+        }
+    }
+    EXPECT_EQ(fired_at, 16u); // exactly at the cap, not before
+    EXPECT_EQ(rfm.urgentRfmCommands(), 1u);
+    // One RFM retires RAAIMT worth of activity; the rest carries over.
+    EXPECT_EQ(rfm.raa(0), 8u);
+}
+
+TEST(RfmEngine, ServiceDelayDefersWithinCap)
+{
+    RfmConfig cfg;
+    cfg.enabled = true;
+    cfg.raaimt = 8;
+    cfg.serviceDelayActs = 4;
+    RfmEngine rfm(cfg, 1);
+    unsigned fired_at = 0;
+    for (unsigned i = 1; i <= 12; ++i) {
+        if (rfm.observeAct(0, 7).fired)
+            fired_at = i;
+    }
+    EXPECT_EQ(fired_at, 12u); // raaimt + serviceDelayActs
+    EXPECT_EQ(rfm.urgentRfmCommands(), 0u);
+}
+
+TEST(RfmEngine, ForLevelOperatingPoints)
+{
+    EXPECT_FALSE(RfmConfig::forLevel(RfmLevel::Off).enabled);
+
+    RfmConfig relaxed = RfmConfig::forLevel(RfmLevel::Relaxed);
+    RfmConfig def = RfmConfig::forLevel(RfmLevel::Default);
+    RfmConfig strict = RfmConfig::forLevel(RfmLevel::Strict);
+    EXPECT_TRUE(relaxed.enabled);
+    EXPECT_TRUE(def.enabled);
+    EXPECT_TRUE(strict.enabled);
+    // Stricter levels demand management more often and protect more.
+    EXPECT_GT(relaxed.raaimt, def.raaimt);
+    EXPECT_GT(def.raaimt, strict.raaimt);
+    EXPECT_GE(strict.victimsPerRfm, def.victimsPerRfm);
+    // JEDEC-typical derived defaults.
+    EXPECT_EQ(def.raammtEffective(), 6 * def.raaimt);
+    EXPECT_EQ(def.refDecrementEffective(), def.raaimt / 2);
+
+    EXPECT_STREQ(rfmLevelName(RfmLevel::Strict), "strict");
 }
 
 TEST(Ddr5, TimingPreset)
@@ -70,6 +192,8 @@ TEST(Ddr5, TimingPreset)
     auto t = DramTiming::ddr5(4800);
     EXPECT_NEAR(t.tCK, 2000.0 / 4800, 1e-9);
     EXPECT_NEAR(t.tREFI, 3900.0, 1e-9); // doubled refresh rate
+    EXPECT_GT(t.tRFM, 0.0);
+    EXPECT_GT(t.tABO, 0.0);
     EXPECT_DEATH(DramTiming::ddr5(3200), "unsupported");
 }
 
@@ -107,6 +231,36 @@ TEST(Ddr5, RfmStopsNonUniformHammering)
     EXPECT_GT(hammer(without), 0u);
     EXPECT_EQ(hammer(with_rfm), 0u);
     EXPECT_GT(with_rfm.rfmCommandCount(), 100u);
+    // Each RFM blocked the bank for tRFM; the stall is accounted.
+    EXPECT_GT(with_rfm.rfmStallNs(), 0.0);
+}
+
+TEST(Ddr5, RefDecrementReducesDeviceRfmRate)
+{
+    // Device-level regression for the REF-decrement fix: the same
+    // hammer pressure owes strictly fewer RFMs when regular refresh
+    // subtracts from the rolling count than when it barely does.
+    const DimmProfile &d1 = DimmProfile::ddr5Sample();
+    TrrConfig no_trr;
+    no_trr.enabled = false;
+
+    auto run = [&](std::uint32_t ref_dec) {
+        RfmConfig rfm;
+        rfm.enabled = true;
+        rfm.refDecrement = ref_dec;
+        Dimm d(d1, DramTiming::ddr5(4800), no_trr, rfm);
+        Ns now = 0.0;
+        for (int i = 0; i < 20000; ++i) {
+            now += d.access({0, 5000, 0}, now).latency;
+            now += d.access({0, 5002, 0}, now).latency;
+        }
+        return d.rfmCommandCount();
+    };
+
+    std::uint64_t barely = run(1);
+    std::uint64_t typical = run(16); // the raaimt/2 JEDEC default
+    EXPECT_GT(barely, typical);
+    EXPECT_GT(typical, 100u);
 }
 
 TEST(Ddr5, RhoHammerFindsNoEffectivePattern)

@@ -216,6 +216,9 @@ TEST(DimmReset, ResetDeviceMatchesFreshDevice)
     RfmConfig rfm;
     rfm.enabled = true;
     rfm.raaimt = 4096;
+    // Minimal REF decay: the per-tick decrement would otherwise hold
+    // RAA below an interval this long and no RFM would ever fire.
+    rfm.refDecrement = 1;
 
     auto script = [](Dimm &d, std::vector<TraceEvent> &out) {
         Tracer tr(TraceConfig{

@@ -130,6 +130,36 @@ trrEvasionTrace(std::uint64_t seed, std::uint32_t categories,
 }
 
 /**
+ * DDR5 mitigation scenario: the sample DDR5 DIMM with default-level
+ * RFM and PRAC/ABO both armed, hammered with a non-uniform pattern.
+ * The stream exercises every mitigation event kind — RfmRefresh,
+ * PracAlert, AboRefresh and MitigationStall.
+ */
+std::vector<TraceEvent>
+ddr5MitigationTrace(std::uint64_t seed, std::uint32_t categories,
+                    std::uint64_t budget)
+{
+    RfmConfig rfm = RfmConfig::forLevel(RfmLevel::Default);
+    PracConfig prac;
+    prac.enabled = true;
+    prac.threshold = 256;
+    MemorySystem sys(Arch::RaptorLake, DimmProfile::ddr5Sample(),
+                     TrrConfig{}, seed, rfm, prac);
+    Tracer tracer(TraceConfig{true, categories, std::size_t{1} << 22});
+    sys.attachTracer(&tracer);
+
+    HammerSession session(sys, seed);
+    HammerConfig cfg = rhoConfig(Arch::RaptorLake, true, budget);
+    Rng rng(seed);
+    HammerPattern evading = HammerPattern::randomNonUniform(rng);
+    session.hammer(evading, session.randomLocation(evading, cfg), cfg);
+
+    sys.attachTracer(nullptr);
+    EXPECT_EQ(tracer.dropped(), 0u);
+    return tracer.events();
+}
+
+/**
  * Byte-compare a stream against its committed golden, or rewrite the
  * golden in regen mode.
  */
@@ -389,6 +419,22 @@ TEST(GoldenTrace, TrrEvasionScenario)
                 trrEvasionTrace(9, CatTrr | CatFlip | CatPhase, 3000));
 }
 
+TEST(GoldenTrace, Ddr5MitigationScenario)
+{
+    auto events =
+        ddr5MitigationTrace(9, CatTrr | CatFlip | CatPhase, 30000);
+    // The scenario must pin all four mitigation event kinds, or the
+    // golden would not guard them.
+    std::set<EventKind> kinds;
+    for (const TraceEvent &e : events)
+        kinds.insert(e.kind);
+    EXPECT_TRUE(kinds.count(EventKind::RfmRefresh));
+    EXPECT_TRUE(kinds.count(EventKind::PracAlert));
+    EXPECT_TRUE(kinds.count(EventKind::AboRefresh));
+    EXPECT_TRUE(kinds.count(EventKind::MitigationStall));
+    checkGolden("ddr5_mitigations.trace", events);
+}
+
 // ---------------------------------------------------------------------
 // Determinism: byte-identical streams across runs and --jobs
 // ---------------------------------------------------------------------
@@ -550,6 +596,35 @@ TEST(CausalInvariants, SampleReachesThresholdBeforeTargetedRefresh)
     }
     // The uniform half of the scenario must actually trip the sampler.
     EXPECT_GT(total_refreshes, 0u);
+}
+
+TEST(CausalInvariants, PracAlertsCrossThresholdAndAboRidesAlert)
+{
+    // Matches the threshold pinned inside ddr5MitigationTrace().
+    const std::uint64_t threshold = 256;
+    auto events = ddr5MitigationTrace(7, CatTrr | CatPhase, 60000);
+    unsigned alerts = 0, abo_refreshes = 0;
+    Ns last_alert_at = -1.0;
+    for (const TraceEvent &e : events) {
+        if (e.kind == EventKind::PracAlert) {
+            // The recorded peak is the counter value that pulled
+            // ALERT_n, so it can never be below the threshold.
+            EXPECT_GE(e.c, threshold)
+                << "alert below threshold, bank " << e.a << " row "
+                << e.b << " at " << e.when;
+            last_alert_at = e.when;
+            ++alerts;
+        } else if (e.kind == EventKind::AboRefresh) {
+            // Back-off services are only issued while an alert is
+            // being handled, never on their own.
+            EXPECT_EQ(e.when, last_alert_at)
+                << "orphan ABO refresh at " << e.when;
+            ++abo_refreshes;
+        }
+    }
+    EXPECT_GT(alerts, 0u);
+    // Every alert services at least the crossing row.
+    EXPECT_GE(abo_refreshes, alerts);
 }
 
 TEST(CausalInvariants, PhaseBracketsAreBalanced)
