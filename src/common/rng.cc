@@ -1,9 +1,23 @@
 #include "common/rng.hh"
 
-// All Rng members are defined inline in the header; this translation unit
-// exists so the library has an anchor and future non-inline helpers have a
-// home.
+#include <sstream>
 
 namespace rho
 {
+
+std::string
+Rng::saveEngineState() const
+{
+    std::ostringstream out;
+    out << engine;
+    return out.str();
+}
+
+void
+Rng::loadEngineState(const std::string &text)
+{
+    std::istringstream in(text);
+    in >> engine;
+}
+
 } // namespace rho

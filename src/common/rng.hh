@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 namespace rho
@@ -120,6 +121,15 @@ class Rng
 
     /** Raw 64-bit draw. */
     std::uint64_t raw() { return engine(); }
+
+    /**
+     * Engine state in the standard mersenne_twister_engine text
+     * serialization (312 state words + read position). Lets an exact
+     * engine replica (cpu/replay_rng.hh) take over the stream and hand
+     * it back without disturbing it.
+     */
+    std::string saveEngineState() const;
+    void loadEngineState(const std::string &text);
 
   private:
     std::mt19937_64 engine;

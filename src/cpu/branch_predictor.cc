@@ -2,8 +2,6 @@
 
 #include <algorithm>
 
-#include "common/rng.hh"
-
 namespace rho
 {
 
@@ -21,42 +19,6 @@ BranchPredictor::reset()
     history = 0;
     nLookups = 0;
     nMispredicts = 0;
-}
-
-bool
-BranchPredictor::predictAndUpdate(std::uint64_t pc, bool taken,
-                                  std::uint64_t target)
-{
-    ++nLookups;
-
-    unsigned pht_idx = static_cast<unsigned>(
-        (splitMix64(pc) ^ history) & phtMask);
-    bool predicted_taken = pht[pht_idx] >= 2;
-
-    unsigned btb_idx = static_cast<unsigned>(splitMix64(pc) & btbMask);
-    BtbEntry &be = btb[btb_idx];
-    bool target_hit = be.valid && be.tag == pc && be.target == target;
-
-    bool mispredict;
-    if (taken) {
-        mispredict = !predicted_taken || !target_hit;
-    } else {
-        mispredict = predicted_taken;
-    }
-
-    // Update.
-    if (taken) {
-        if (pht[pht_idx] < 3)
-            ++pht[pht_idx];
-        be = {pc, target, true};
-    } else if (pht[pht_idx] > 0) {
-        --pht[pht_idx];
-    }
-    history = ((history << 1) | (taken ? 1 : 0)) & phtMask;
-
-    if (mispredict)
-        ++nMispredicts;
-    return mispredict;
 }
 
 } // namespace rho

@@ -17,6 +17,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/rng.hh"
+
 namespace rho
 {
 
@@ -35,8 +37,44 @@ class BranchPredictor
      * @return true iff the branch was mispredicted (direction or
      *         target).
      */
-    bool predictAndUpdate(std::uint64_t pc, bool taken,
-                          std::uint64_t target);
+    // Defined here so both engines inline it, and written with select
+    // arithmetic instead of control flow: `taken` is rdrand-derived in
+    // the obfuscated-branch workload, so any host branch on it (or on
+    // anything derived from it) mispredicts at the full random rate.
+    // The modeled predictor state machine is unchanged — each select
+    // computes exactly the value the original if/else produced.
+    bool
+    predictAndUpdate(std::uint64_t pc, bool taken, std::uint64_t target)
+    {
+        ++nLookups;
+
+        unsigned pht_idx = static_cast<unsigned>(
+            (splitMix64(pc) ^ history) & phtMask);
+        std::uint8_t ctr = pht[pht_idx];
+        bool predicted_taken = ctr >= 2;
+
+        unsigned btb_idx = static_cast<unsigned>(splitMix64(pc) & btbMask);
+        BtbEntry &be = btb[btb_idx];
+        bool target_hit = be.valid & (be.tag == pc) & (be.target == target);
+
+        // taken: miss iff direction or target was wrong; not taken:
+        // miss iff predicted taken.
+        bool mispredict = taken ? !(predicted_taken & target_hit)
+                                : predicted_taken;
+
+        // Update: saturating 2-bit counter moves toward the outcome;
+        // the BTB (re)learns the target only on taken branches.
+        std::uint8_t up = ctr + (ctr < 3);
+        std::uint8_t down = ctr - (ctr > 0);
+        pht[pht_idx] = taken ? up : down;
+        be.tag = taken ? pc : be.tag;
+        be.target = taken ? target : be.target;
+        be.valid = be.valid | taken;
+        history = ((history << 1) | (taken ? 1 : 0)) & phtMask;
+
+        nMispredicts += mispredict;
+        return mispredict;
+    }
 
     void reset();
 

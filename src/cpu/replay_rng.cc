@@ -1,0 +1,63 @@
+#include "cpu/replay_rng.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace rho
+{
+
+// mt19937_64 block generation (std _M_gen_rand): n 312, m 156, r 31,
+// a 0xb5026f5aa96619e9. One deliberate difference from the std code:
+// the conditional xor of `a` is a mask (-(y & 1) is all-ones iff y is
+// odd), not a branch — the low bit is random, so the std `?:` form
+// mispredicts every other word of the 312-word block.
+void
+ReplayRng::twist()
+{
+    constexpr std::size_t m = 156;
+    constexpr std::uint64_t upper = ~std::uint64_t(0) << 31;
+    constexpr std::uint64_t lower = ~upper;
+    constexpr std::uint64_t a = 0xb5026f5aa96619e9ULL;
+
+    for (std::size_t k = 0; k < kN - m; ++k) {
+        std::uint64_t y = (state[k] & upper) | (state[k + 1] & lower);
+        state[k] = state[k + m] ^ (y >> 1) ^ ((0 - (y & 1)) & a);
+    }
+    for (std::size_t k = kN - m; k < kN - 1; ++k) {
+        std::uint64_t y = (state[k] & upper) | (state[k + 1] & lower);
+        state[k] = state[k + (m - kN)] ^ (y >> 1) ^ ((0 - (y & 1)) & a);
+    }
+    std::uint64_t y = (state[kN - 1] & upper) | (state[0] & lower);
+    state[kN - 1] = state[m - 1] ^ (y >> 1) ^ ((0 - (y & 1)) & a);
+    idx = 0;
+}
+
+// The standard text serialization of mersenne_twister_engine is the 312
+// state words followed by the read position, space-separated. Parsing
+// it is the one portable way to move state in and out of a
+// std::mt19937_64; it runs once per SimCpu::run.
+
+void
+ReplayRng::importFrom(const Rng &src)
+{
+    std::istringstream in(src.saveEngineState());
+    for (std::size_t i = 0; i < kN; ++i)
+        in >> state[i];
+    in >> idx;
+    if (!in || idx > kN)
+        fatal("ReplayRng::importFrom: malformed engine state");
+}
+
+void
+ReplayRng::exportTo(Rng &dst) const
+{
+    std::ostringstream out;
+    for (std::size_t i = 0; i < kN; ++i)
+        out << state[i] << ' ';
+    out << idx;
+    dst.loadEngineState(out.str());
+}
+
+} // namespace rho

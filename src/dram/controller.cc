@@ -32,6 +32,12 @@ MemoryController::access(PhysAddr pa, Ns now)
     return dev->access(map.decode(pa), now);
 }
 
+DramAccessResult
+MemoryController::access(const DramAddr &da, Ns now)
+{
+    return dev->access(da, now);
+}
+
 std::uint8_t
 MemoryController::readByte(PhysAddr pa, Ns now)
 {

@@ -30,6 +30,17 @@ class MemoryController
     /** Timed access by physical address. */
     DramAccessResult access(PhysAddr pa, Ns now);
 
+    /**
+     * Timed access by pre-decoded DRAM address — the fast path for
+     * callers that cache decode() results for a fixed working set
+     * (MemorySystem::resolveLine). Identical to access(pa, now) for
+     * da == decode(pa).
+     */
+    DramAccessResult access(const DramAddr &da, Ns now);
+
+    /** Physical-to-DRAM address translation (pure). */
+    DramAddr decode(PhysAddr pa) const { return map.decode(pa); }
+
     /** Functional data path (used to plant and check victim data). */
     std::uint8_t readByte(PhysAddr pa, Ns now);
     void writeByte(PhysAddr pa, std::uint8_t value, Ns now);

@@ -17,8 +17,10 @@ Dimm::Dimm(const DimmProfile &profile, const DramTiming &timing,
     : prof(profile), tim(timing), trr(trr_cfg, profile.geom.flatBanks()),
       rfm(rfm_cfg, profile.geom.flatBanks()),
       prac(prac_cfg, profile.geom.flatBanks()),
-      banks(profile.geom.flatBanks()),
-      bankRows(profile.geom.flatBanks())
+      bankOpenRow(profile.geom.flatBanks(), -1),
+      bankReadyAt(profile.geom.flatBanks(), 0.0),
+      bankLastActAt(profile.geom.flatBanks(), -1e18),
+      bankRows(profile.geom.flatBanks()), nextTrrTick(timing.tREFI)
 {
 }
 
@@ -29,9 +31,11 @@ Dimm::reset()
     for (BankRows &b : bankRows)
         b = BankRows{};
     flips.clear();
-    std::fill(banks.begin(), banks.end(), BankState{});
+    std::fill(bankOpenRow.begin(), bankOpenRow.end(), -1);
+    std::fill(bankReadyAt.begin(), bankReadyAt.end(), 0.0);
+    std::fill(bankLastActAt.begin(), bankLastActAt.end(), -1e18);
     acts = 0;
-    nextTrrTick = 0.0;
+    nextTrrTick = tim.tREFI;
     pendingStall = 0.0;
     rfmStalls = 0.0;
     aboStalls = 0.0;
@@ -326,8 +330,14 @@ Dimm::refreshNeighbours(std::uint32_t bank, std::uint64_t row, Ns now,
 void
 Dimm::processTrrTicks(Ns now)
 {
-    if (nextTrrTick == 0.0)
-        nextTrrTick = tim.tREFI;
+    // Epoch gate: nextTrrTick is the next tREFI boundary (set at
+    // construction/reset), so between boundaries — i.e. for almost
+    // every ACT of a hammer burst — advancing the mitigation clocks is
+    // provably a no-op and costs this one compare. When now is short
+    // of the boundary, neither the fast-forward test (now - nextTrrTick
+    // is negative) nor the tick loop below could fire.
+    if (now < nextTrrTick)
+        return;
     // If the simulation jumped far ahead (idle phases), fast-forward:
     // stale counters would have decayed anyway.
     if (now - nextTrrTick > tim.tREFW) {
@@ -485,44 +495,43 @@ Dimm::doAct(std::uint32_t bank, std::uint64_t row, Ns now)
 DramAccessResult
 Dimm::access(const DramAddr &da, Ns now)
 {
-    if (da.bank >= banks.size())
+    if (da.bank >= bankOpenRow.size())
         panic("Dimm::access: bank %u out of range", da.bank);
     if (da.row >= prof.geom.rowsPerBank)
         panic("Dimm::access: row %llu out of range",
               static_cast<unsigned long long>(da.row));
 
-    BankState &bk = banks[da.bank];
-    Ns start = std::max(now, bk.readyAt);
+    Ns start = std::max(now, bankReadyAt[da.bank]);
     DramAccessResult res{};
 
-    if (bk.openRow == static_cast<std::int64_t>(da.row)) {
+    if (bankOpenRow[da.bank] == static_cast<std::int64_t>(da.row)) {
         // Row-buffer hit: CAS only.
         Ns done = start + tim.tCL;
-        bk.readyAt = start + 4 * tim.tCK;
+        bankReadyAt[da.bank] = start + 4 * tim.tCK;
         RHO_TRACE(tracer, start, EventKind::DramRowHit, 0, da.bank,
                   da.row, 0);
         res = {done - now + tim.busOverhead, true, false};
     } else {
-        bool conflict = bk.openRow >= 0;
+        bool conflict = bankOpenRow[da.bank] >= 0;
         // ACT-to-ACT spacing within the bank (tRC) and, on conflict,
         // the precharge of the currently open row.
-        Ns act_at = std::max(start, bk.lastActAt + tim.tRC);
+        Ns act_at = std::max(start, bankLastActAt[da.bank] + tim.tRC);
         Ns pre = conflict ? tim.tRP : 0.0;
         Ns done = act_at + pre + tim.tRCD + tim.tCL;
         if (conflict)
             RHO_TRACE(tracer, act_at, EventKind::DramPre, 0, da.bank,
-                      static_cast<std::uint64_t>(bk.openRow), 0);
-        bk.lastActAt = act_at + pre;
-        bk.readyAt = act_at + pre + tim.tRCD;
-        bk.openRow = static_cast<std::int64_t>(da.row);
+                      static_cast<std::uint64_t>(bankOpenRow[da.bank]), 0);
+        bankLastActAt[da.bank] = act_at + pre;
+        bankReadyAt[da.bank] = act_at + pre + tim.tRCD;
+        bankOpenRow[da.bank] = static_cast<std::int64_t>(da.row);
         doAct(da.bank, da.row, act_at + pre);
         // Mitigation commands raised by this ACT (RFM, Alert Back-Off)
         // block the bank: fold the pending stall into the access
         // latency and push out the bank's ready time.
         if (pendingStall > 0.0) {
             done += pendingStall;
-            bk.readyAt += pendingStall;
-            bk.lastActAt += pendingStall;
+            bankReadyAt[da.bank] += pendingStall;
+            bankLastActAt[da.bank] += pendingStall;
             pendingStall = 0.0;
         }
         res = {done - now + tim.busOverhead, false, true};

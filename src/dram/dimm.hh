@@ -228,13 +228,6 @@ class Dimm
         Ns arBoundary = -1e18;
     };
 
-    struct BankState
-    {
-        std::int64_t openRow = -1;
-        Ns readyAt = 0.0;
-        Ns lastActAt = -1e18;
-    };
-
     /** Per-bank flat row store: index + pool + lookup caches. */
     struct BankRows
     {
@@ -310,12 +303,25 @@ class Dimm
     TrrSampler trr;
     RfmEngine rfm;
     PracEngine prac;
-    std::vector<BankState> banks;
+    /**
+     * Per-bank queue state, structure-of-arrays: access() only ever
+     * touches one field class at a time (ready sweep, open-row
+     * compare, ACT spacing), so parallel arrays keep the hot compares
+     * on densely packed cache lines instead of striding over structs.
+     */
+    std::vector<std::int64_t> bankOpenRow; //!< open row, -1 = closed
+    std::vector<Ns> bankReadyAt;           //!< bank busy until
+    std::vector<Ns> bankLastActAt;         //!< last ACT (tRC spacing)
     RowStoreKind store = RowStoreKind::Flat;
     std::vector<BankRows> bankRows;             //!< Flat storage
     std::unordered_map<std::uint64_t, RowState> rows; //!< Reference
     std::vector<FlipRecord> flips;
     std::uint64_t acts = 0;
+    /**
+     * Next tREFI epoch boundary. Constructed (and reset) to the first
+     * tick, so the per-ACT mitigation-clock check in processTrrTicks
+     * is a single compare until the epoch actually rolls over.
+     */
     Ns nextTrrTick = 0.0;
     /**
      * Mitigation stall accrued by the current doAct (tRFM per RFM

@@ -35,7 +35,8 @@ hammerInstrName(HammerInstr instr)
 }
 
 HammerSession::HammerSession(MemorySystem &sys_, std::uint64_t seed)
-    : sys(sys_), core(sys_.cpuParams(), seed), rng(seed ^ 0x5e5510)
+    : sys(sys_), core(sys_.cpuParams(), seed, sys_.cpuModel()),
+      rng(seed ^ 0x5e5510)
 {
 }
 

@@ -15,6 +15,7 @@ SystemSpec::instantiate(std::uint64_t seed) const
     MemorySystem sys(arch, *dimm, trr, seed, rfm, prac);
     if (referenceRowStore)
         sys.dimm().setRowStore(RowStoreKind::Reference);
+    sys.setCpuModel(cpuModel);
     return sys;
 }
 
@@ -51,6 +52,29 @@ MemorySystem::dramAccess(PhysAddr pa, Ns now)
 {
     Ns t = std::max(clock, now);
     DramAccessResult res = mc->access(pa, t);
+    clock = t;
+    return res.latency;
+}
+
+const void *
+MemorySystem::resolveLine(PhysAddr pa)
+{
+    auto it = resolvedIndex.find(pa);
+    if (it != resolvedIndex.end())
+        return it->second;
+    resolvedLines.push_back(mc->decode(pa));
+    const DramAddr *da = &resolvedLines.back();
+    resolvedIndex.emplace(pa, da);
+    return da;
+}
+
+Ns
+MemorySystem::dramAccessResolved(const void *handle, Ns now)
+{
+    // Must stay the exact twin of dramAccess() minus the decode.
+    Ns t = std::max(clock, now);
+    DramAccessResult res =
+        mc->access(*static_cast<const DramAddr *>(handle), t);
     clock = t;
     return res.latency;
 }

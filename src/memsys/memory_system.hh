@@ -8,7 +8,9 @@
 #ifndef RHO_MEMSYS_MEMORY_SYSTEM_HH
 #define RHO_MEMSYS_MEMORY_SYSTEM_HH
 
+#include <deque>
 #include <memory>
+#include <unordered_map>
 
 #include "cpu/arch_params.hh"
 #include "cpu/sim_cpu.hh"
@@ -53,6 +55,20 @@ class MemorySystem : public MemoryBackend
 
     // MemoryBackend
     Ns dramAccess(PhysAddr pa, Ns now) override;
+
+    /**
+     * Memoized physical-to-DRAM address decode: the first request for
+     * a line runs the full GF(2) mapping and caches the result in
+     * pointer-stable storage, so a hammer kernel's fixed working set
+     * decodes once per system instead of once per access. Handles stay
+     * valid for this system's lifetime.
+     */
+    const void *resolveLine(PhysAddr pa) override;
+    Ns dramAccessResolved(const void *handle, Ns now) override;
+
+    /** CPU replay engine newly built cores use (see CpuModelKind). */
+    CpuModelKind cpuModel() const { return cpuKind; }
+    void setCpuModel(CpuModelKind k) { cpuKind = k; }
 
     /** Current global simulated time. */
     Ns now() const { return clock; }
@@ -125,6 +141,12 @@ class MemorySystem : public MemoryBackend
     FaultInjector *injector = nullptr;
     Tracer *tr = nullptr;
     Ns clock = 0.0;
+    CpuModelKind cpuKind = CpuModelKind::Blocked;
+
+    // resolveLine memo: deque keeps decoded addresses pointer-stable
+    // while the index grows.
+    std::deque<DramAddr> resolvedLines;
+    std::unordered_map<PhysAddr, const DramAddr *> resolvedIndex;
 };
 
 /**
@@ -152,6 +174,16 @@ struct SystemSpec
      * stores are observably identical.
      */
     bool referenceRowStore = false;
+
+    /**
+     * CPU replay engine for cores built against the instantiated
+     * system (HammerSession reads it). Blocked is the block-cached
+     * fast path; Reference keeps the original op-by-op interpreter as
+     * the differential oracle (tests/test_cpu_oracle.cc). Both are
+     * observably identical, so — like referenceRowStore — this field
+     * is not part of a campaign's content-addressed identity.
+     */
+    CpuModelKind cpuModel = CpuModelKind::Blocked;
 
     SystemSpec() = default;
     SystemSpec(Arch arch_, const DimmProfile &dimm_,

@@ -325,6 +325,50 @@ TEST(SimCpu, EmptyKernelIsFatal)
     EXPECT_DEATH(cpu.run(k, mem, 100), "no memory reads");
 }
 
+TEST(SimCpu, BackToBackRunsAreDeterministic)
+{
+    // Regression for resetRunState(): a second run() on the same core
+    // must behave exactly like the first (all per-run state — queues,
+    // fill buffers, clocks, predictor, counters — re-zeroed), and like
+    // a run on a freshly constructed core. The kernel is rng-free
+    // (no ClFlushOpt: every arch has flushJitterProb > 0, so flushes
+    // draw; no BranchObf) so determinism isolates state reset from
+    // stream position.
+    for (CpuModelKind kind :
+         {CpuModelKind::Blocked, CpuModelKind::Reference}) {
+        HammerKernel k(AddressingMode::CppIndexed);
+        for (unsigned i = 0; i < 4; ++i) {
+            k.pushNops(50);
+            k.pushMem(OpKind::PrefetchNta, 0x100000 + i * 0x10000);
+            k.pushMem(OpKind::Load, 0x200000 + i * 0x10000);
+            k.push({OpKind::Lfence, 0, 1});
+        }
+        k.push({OpKind::BranchLoop, 0, 1});
+
+        StubMemory mem1, mem2;
+        SimCpu reused(ArchParams::forArch(Arch::RaptorLake), 7, kind);
+        PerfCounters first = reused.run(k, mem1, 5000, 3e6);
+        PerfCounters again = reused.run(k, mem1, 5000, 3e6);
+        SimCpu fresh(ArchParams::forArch(Arch::RaptorLake), 7, kind);
+        PerfCounters clean = fresh.run(k, mem2, 5000, 3e6);
+
+        for (const PerfCounters *c : {&again, &clean}) {
+            EXPECT_EQ(first.memReads, c->memReads);
+            EXPECT_EQ(first.dramAccesses, c->dramAccesses);
+            EXPECT_EQ(first.cacheHits, c->cacheHits);
+            EXPECT_EQ(first.pfQueueDrops, c->pfQueueDrops);
+            EXPECT_EQ(first.flushes, c->flushes);
+            EXPECT_EQ(first.branches, c->branches);
+            EXPECT_EQ(first.branchMispredicts, c->branchMispredicts);
+            EXPECT_EQ(first.nops, c->nops);
+            EXPECT_EQ(first.timeNs, c->timeNs); // bit-identical clock
+        }
+        // Leak check by construction: a stale load queue, fill-buffer
+        // pool or ROB would shift completion times and the clock.
+        EXPECT_GT(first.dramAccesses, 0u);
+    }
+}
+
 TEST(SimCpu, DramTimestampsMonotone)
 {
     StubMemory mem;

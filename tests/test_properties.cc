@@ -2,8 +2,8 @@
  * @file
  * Cross-cutting property suites: exhaustive bijection checks on small
  * mapping spaces, refresh-phase invariants, buddy allocator stress
- * invariants, and disturbance accounting under randomized access
- * streams.
+ * invariants, disturbance accounting under randomized access streams,
+ * and CPU-engine equivalence over fuzzed hammer kernels.
  */
 
 #include <map>
@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "cpu/sim_cpu.hh"
 #include "dram/dimm.hh"
 #include "hammer/sweep.hh"
 #include "hammer/tuned_configs.hh"
@@ -308,4 +309,141 @@ TEST(Disturbance, LogAgreesWithDataDiff)
     for (const auto &f : d.flipLog())
         logged += f.row == 1001 || f.row == 1003 || f.row == 1005;
     EXPECT_EQ(diffs, logged);
+}
+
+// ---------------------------------------------------------------------
+// CPU engines over fuzzed kernels
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Backend recording every DRAM access the core issues. */
+class RecordingBackend : public MemoryBackend
+{
+  public:
+    Ns
+    dramAccess(PhysAddr pa, Ns now) override
+    {
+        accesses.push_back({pa, now});
+        return 55.0;
+    }
+
+    std::vector<std::pair<PhysAddr, Ns>> accesses;
+};
+
+/**
+ * A random but well-formed kernel body: arbitrary interleavings of
+ * every op kind over a small line pool, guaranteed to contain at
+ * least one memory read (run() rejects kernels with none).
+ */
+HammerKernel
+fuzzKernel(Rng &rng)
+{
+    AddressingMode mode = rng.chance(0.5) ? AddressingMode::CppIndexed
+                                          : AddressingMode::JitImmediate;
+    HammerKernel k(mode);
+    unsigned len = static_cast<unsigned>(rng.uniformInt(4, 40));
+    unsigned mem_ops = 0;
+    for (unsigned i = 0; i < len; ++i) {
+        PhysAddr pa = 0x200000
+            + rng.uniformInt(0, 7) * 0x40000; // 8-line pool
+        switch (rng.uniformInt(0, 9)) {
+          case 0:
+            k.pushNops(
+                static_cast<unsigned>(rng.uniformInt(1, 1200)));
+            break;
+          case 1:
+            k.push({OpKind::AluDep, 0,
+                    static_cast<std::uint32_t>(rng.uniformInt(1, 64))});
+            break;
+          case 2:
+            k.push({OpKind::Lfence, 0, 1});
+            break;
+          case 3:
+            k.push({rng.chance(0.5) ? OpKind::Mfence : OpKind::Cpuid, 0,
+                    1});
+            break;
+          case 4:
+            k.push({OpKind::BranchObf, 0, 1});
+            break;
+          case 5:
+            k.push({OpKind::BranchLoop, 0, 1});
+            break;
+          case 6:
+            k.pushMem(OpKind::ClFlushOpt, pa);
+            break;
+          case 7:
+            k.pushMem(OpKind::Load, pa);
+            ++mem_ops;
+            break;
+          default: {
+            const OpKind hints[] = {OpKind::PrefetchT0, OpKind::PrefetchT1,
+                                    OpKind::PrefetchT2,
+                                    OpKind::PrefetchNta};
+            k.pushMem(hints[rng.uniformInt(0, 3)], pa);
+            ++mem_ops;
+            break;
+          }
+        }
+    }
+    if (mem_ops == 0)
+        k.pushMem(OpKind::PrefetchNta, 0x200000);
+    return k;
+}
+
+} // namespace
+
+/**
+ * For arbitrary kernels, the Blocked engine must issue the identical
+ * DRAM access sequence at identical (bit-exact, monotone) timestamps
+ * and report identical counters as the Reference engine — batching
+ * must never reorder or re-time anything observable.
+ */
+TEST(CpuEngineProperties, FuzzedKernelsReplayIdentically)
+{
+    for (std::uint64_t trial = 0; trial < 60; ++trial) {
+        Rng fuzz(hashCombine(0xf022, trial));
+        HammerKernel k = fuzzKernel(fuzz);
+        Arch arch = allArchs[trial % allArchs.size()];
+        std::uint64_t seed = hashCombine(trial, 0x5eed);
+        Ns start = trial * 1e5;
+
+        RecordingBackend blocked_mem, ref_mem;
+        SimCpu blocked(ArchParams::forArch(arch), seed,
+                       CpuModelKind::Blocked);
+        SimCpu ref(ArchParams::forArch(arch), seed,
+                   CpuModelKind::Reference);
+        PerfCounters bc = blocked.run(k, blocked_mem, 1500, start);
+        PerfCounters rc = ref.run(k, ref_mem, 1500, start);
+
+        std::string what =
+            "trial " + std::to_string(trial) + " " + archName(arch);
+        EXPECT_EQ(bc.memReads, rc.memReads) << what;
+        EXPECT_EQ(bc.dramAccesses, rc.dramAccesses) << what;
+        EXPECT_EQ(bc.cacheHits, rc.cacheHits) << what;
+        EXPECT_EQ(bc.pfQueueDrops, rc.pfQueueDrops) << what;
+        EXPECT_EQ(bc.flushes, rc.flushes) << what;
+        EXPECT_EQ(bc.branches, rc.branches) << what;
+        EXPECT_EQ(bc.branchMispredicts, rc.branchMispredicts) << what;
+        EXPECT_EQ(bc.nops, rc.nops) << what;
+        EXPECT_EQ(bc.timeNs, rc.timeNs) << what;
+
+        ASSERT_EQ(blocked_mem.accesses.size(), ref_mem.accesses.size())
+            << what;
+        for (std::size_t i = 0; i < ref_mem.accesses.size(); ++i) {
+            ASSERT_EQ(blocked_mem.accesses[i].first,
+                      ref_mem.accesses[i].first)
+                << what << " access " << i;
+            ASSERT_EQ(blocked_mem.accesses[i].second,
+                      ref_mem.accesses[i].second)
+                << what << " access " << i;
+            // The DRAM command stream never travels backwards in time.
+            if (i > 0) {
+                ASSERT_GE(blocked_mem.accesses[i].second,
+                          blocked_mem.accesses[i - 1].second)
+                    << what << " access " << i;
+            }
+        }
+    }
 }
