@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Example: the campaign service — a sweep campaign sharded across
+ * supervised worker processes, surviving SIGKILLs, hangs and journal
+ * bit-rot with a bit-identical merged result.
+ *
+ * Usage: campaign_service [arch] [dimm] [options]
+ *   --locations N    sweep locations = campaign tasks     (default 12)
+ *   --shards N       worker shards                        (default 4)
+ *   --workers N      concurrent worker processes          (default 2)
+ *   --jobs N         threads inside each worker           (default 1)
+ *   --journal BASE   journal path prefix   (default /tmp/rho_svc.<pid>)
+ *   --exec           fork+exec workers through this binary's --worker
+ *                    entry instead of forked body-mode workers
+ *   --chaos-kill P   P(worker launch is SIGKILLed mid-shard)
+ *   --chaos-hang P   P(worker launch wedges; heartbeat kill)
+ *   --bit-rot P      P(a journal record is written with a rotted bit)
+ *   --seed S         campaign seed                        (default 42)
+ *   --verify         also run the campaign uninterrupted in-process
+ *                    and report whether the merged result is identical
+ *   --log            print the supervisor event log
+ *
+ * The internal `--worker` entry is what --exec launches; it re-derives
+ * the campaign deterministically from its arguments and runs exactly
+ * one shard attempt.
+ */
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "fault/fault_injector.hh"
+#include "hammer/tuned_configs.hh"
+#include "service/campaign_service.hh"
+
+using namespace rho;
+using namespace rho::service;
+
+namespace
+{
+
+Arch
+parseArch(const char *s)
+{
+    if (!std::strcmp(s, "comet"))
+        return Arch::CometLake;
+    if (!std::strcmp(s, "rocket"))
+        return Arch::RocketLake;
+    if (!std::strcmp(s, "alder"))
+        return Arch::AlderLake;
+    if (!std::strcmp(s, "raptor"))
+        return Arch::RaptorLake;
+    fatal("unknown arch '%s'", s);
+}
+
+const char *
+archArg(Arch a)
+{
+    switch (a) {
+    case Arch::CometLake: return "comet";
+    case Arch::RocketLake: return "rocket";
+    case Arch::AlderLake: return "alder";
+    case Arch::RaptorLake: return "raptor";
+    }
+    return "raptor";
+}
+
+/** The campaign is a pure function of (arch, dimm, seed): both the
+ *  parent and exec-mode workers rebuild it from these three values. */
+struct Scenario
+{
+    SystemSpec spec;
+    HammerConfig cfg;
+    HammerPattern pattern;
+
+    Scenario(Arch arch, const char *dimm, std::uint64_t seed)
+        : spec(arch, DimmProfile::byId(dimm)),
+          cfg(rhoConfig(arch, true)),
+          pattern(makePattern(seed))
+    {
+    }
+
+    static HammerPattern
+    makePattern(std::uint64_t seed)
+    {
+        Rng rng(hashCombine(seed, 0xA77));
+        return HammerPattern::randomNonUniform(rng);
+    }
+};
+
+/** Order-sensitive digest of everything a SweepResult carries. */
+std::uint64_t
+sweepDigest(const SweepResult &r)
+{
+    std::uint64_t h = hashCombine(r.totalFlips,
+                                  std::uint64_t(r.simTimeNs * 1e3));
+    for (auto f : r.flipsPerLocation)
+        h = hashCombine(h, f);
+    for (auto t : r.cumulativeTimeNs)
+        h = hashCombine(h, std::uint64_t(t * 1e3));
+    for (const auto &f : r.flipList) {
+        h = hashCombine(h, f.bank);
+        h = hashCombine(h, f.row);
+        h = hashCombine(h, f.bitOffset);
+        h = hashCombine(h, std::uint64_t(f.toOne));
+        h = hashCombine(h, std::uint64_t(f.when * 1e3));
+    }
+    return h;
+}
+
+/** Exec-mode worker entry: one shard attempt, then exit. */
+int
+workerMain(int argc, char **argv)
+{
+    // --worker <arch> <dimm> <locations> <jobs> <seed> <shard> <first>
+    //          <count> <journal> <status> <attempt> <crash-after>
+    //          <hang-after> <rot-prob> <chaos-seed>
+    if (argc != 17)
+        fatal("--worker: expected 15 operands, got %d", argc - 2);
+    char **a = argv + 2;
+    Arch arch = parseArch(a[0]);
+    const char *dimm = a[1];
+    unsigned locations = unsigned(std::atoi(a[2]));
+    unsigned jobs = unsigned(std::atoi(a[3]));
+    std::uint64_t seed = std::strtoull(a[4], nullptr, 0);
+
+    ShardSpec shard;
+    shard.id = unsigned(std::atoi(a[5]));
+    shard.firstTask = unsigned(std::atoi(a[6]));
+    shard.taskCount = unsigned(std::atoi(a[7]));
+    shard.journalPath = a[8];
+    shard.statusPath = a[9];
+    unsigned attempt = unsigned(std::atoi(a[10]));
+
+    WorkerChaos chaos;
+    chaos.crashAfterRecords = unsigned(std::atoi(a[11]));
+    chaos.hangAfterRecords = unsigned(std::atoi(a[12]));
+    double rotProb = std::atof(a[13]);
+    std::uint64_t chaosSeed = std::strtoull(a[14], nullptr, 0);
+
+    Scenario sc(arch, dimm, seed);
+    SweepParams params;
+    params.numLocations = locations;
+    params.jobs = jobs;
+
+    // Self-inflicted journal bit-rot (chaos does not cross the exec
+    // boundary, so the worker owns its own injector).
+    FaultInjector rot(FaultSchedule::serviceChaos(0.0, 0.0, rotProb),
+                      hashCombine(chaosSeed,
+                                  shard.id * 1000ull + attempt));
+    if (rotProb > 0.0) {
+        params.journal.bitRot = [&rot](std::size_t num_bits) {
+            return rot.journalBitRot(num_bits);
+        };
+    }
+    return runSweepShardWorker(sc.spec, sc.pattern, sc.cfg, params, seed,
+                               shard, attempt, chaos);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    if (argc > 1 && !std::strcmp(argv[1], "--worker"))
+        return workerMain(argc, argv);
+
+    Arch arch = Arch::RaptorLake;
+    const char *dimm = "S4";
+    unsigned locations = 12, shards = 4, workers = 2, jobs = 1;
+    double chaosKill = 0.0, chaosHang = 0.0, bitRot = 0.0;
+    std::uint64_t seed = 42;
+    bool execMode = false, verify = false, showLog = false;
+    std::string journalBase =
+        "/tmp/rho_svc." + std::to_string(::getpid());
+
+    int positional = 0;
+    for (int i = 1; i < argc; ++i) {
+        auto val = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("%s needs a value", argv[i]);
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--locations"))
+            locations = unsigned(std::atoi(val()));
+        else if (!std::strcmp(argv[i], "--shards"))
+            shards = unsigned(std::atoi(val()));
+        else if (!std::strcmp(argv[i], "--workers"))
+            workers = unsigned(std::atoi(val()));
+        else if (!std::strcmp(argv[i], "--jobs"))
+            jobs = unsigned(std::atoi(val()));
+        else if (!std::strcmp(argv[i], "--journal"))
+            journalBase = val();
+        else if (!std::strcmp(argv[i], "--chaos-kill"))
+            chaosKill = std::atof(val());
+        else if (!std::strcmp(argv[i], "--chaos-hang"))
+            chaosHang = std::atof(val());
+        else if (!std::strcmp(argv[i], "--bit-rot"))
+            bitRot = std::atof(val());
+        else if (!std::strcmp(argv[i], "--seed"))
+            seed = std::strtoull(val(), nullptr, 0);
+        else if (!std::strcmp(argv[i], "--exec"))
+            execMode = true;
+        else if (!std::strcmp(argv[i], "--verify"))
+            verify = true;
+        else if (!std::strcmp(argv[i], "--log"))
+            showLog = true;
+        else if (positional == 0)
+            arch = parseArch(argv[i]), ++positional;
+        else
+            dimm = argv[i], ++positional;
+    }
+
+    Scenario sc(arch, dimm, seed);
+    SweepParams params;
+    params.numLocations = locations;
+
+    std::printf("campaign service: %s + DIMM %s, %u locations over %u "
+                "shard(s), %u worker slot(s)%s\n",
+                archName(arch).c_str(), dimm, locations, shards, workers,
+                execMode ? " (exec mode)" : "");
+    if (chaosKill > 0.0 || chaosHang > 0.0 || bitRot > 0.0)
+        std::printf("chaos: P(kill)=%.2f P(hang)=%.2f P(bit-rot)=%.2f\n",
+                    chaosKill, chaosHang, bitRot);
+
+    FaultInjector faults(
+        FaultSchedule::serviceChaos(chaosKill, chaosHang, bitRot),
+        hashCombine(seed, 0xC4A5));
+
+    ServiceParams service;
+    service.shards = shards;
+    service.jobsPerWorker = jobs;
+    service.journalBase = journalBase;
+    service.supervisor.workers = workers;
+    service.supervisor.heartbeatTimeoutS = 5.0;
+    service.supervisor.shardDeadlineS = 60.0;
+    if (chaosKill > 0.0 || chaosHang > 0.0 || bitRot > 0.0)
+        service.faults = &faults;
+
+    std::string self = argv[0];
+    if (execMode) {
+        // Chaos plans still come from the parent's injector (via the
+        // supervisor hook the service installs); the argv carries them
+        // across the exec boundary.
+        service.execArgv = [&](const ShardSpec &shard, unsigned attempt,
+                               const WorkerChaos &chaos) {
+            return std::vector<std::string>{
+                self, "--worker", archArg(arch), dimm,
+                std::to_string(locations), std::to_string(jobs),
+                std::to_string(seed), std::to_string(shard.id),
+                std::to_string(shard.firstTask),
+                std::to_string(shard.taskCount), shard.journalPath,
+                shard.statusPath, std::to_string(attempt),
+                std::to_string(chaos.crashAfterRecords),
+                std::to_string(chaos.hangAfterRecords),
+                std::to_string(bitRot),
+                std::to_string(hashCombine(seed, 0xC4A5)),
+            };
+        };
+    }
+
+    SweepServiceOutcome out =
+        serviceSweepCampaign(sc.spec, sc.pattern, sc.cfg, params, seed,
+                             service);
+
+    if (showLog) {
+        std::printf("\nsupervisor log:\n");
+        for (const auto &line : out.report.supervisor.log)
+            std::printf("  %s\n", line.c_str());
+    }
+
+    const SupervisorResult &sup = out.report.supervisor;
+    std::printf("\nsupervision: %u crash(es), %u hang kill(s), %u "
+                "quarantined, %u->%u worker slot(s)\n",
+                sup.crashes, sup.hangs, sup.quarantined, sup.peakWorkers,
+                sup.finalWorkers);
+    std::printf("merge: %u task(s) replayed from worker journals, %u "
+                "re-executed in the parent\n",
+                out.report.tasksFromWorkers, out.report.tasksReexecuted);
+    std::printf("result: %llu flips over %u location(s), %.1f s "
+                "simulated [%s]\n",
+                (unsigned long long)out.result.totalFlips,
+                unsigned(out.result.flipsPerLocation.size()),
+                out.result.simTimeNs / 1e9,
+                failureCodeName(out.report.code));
+
+    if (verify) {
+        SweepParams clean = params;
+        SweepResult ref = sweepCampaign(sc.spec, sc.pattern, sc.cfg,
+                                        clean, seed);
+        bool same = sweepDigest(ref) == sweepDigest(out.result);
+        if (out.report.code == FailureCode::ShardQuarantined) {
+            std::printf("verify: skipped digest match — result is "
+                        "degraded (quarantined shard)\n");
+        } else {
+            std::printf("verify: merged result is %s the uninterrupted "
+                        "in-process run\n",
+                        same ? "IDENTICAL to" : "DIFFERENT from");
+            if (!same)
+                return 1;
+        }
+    }
+    return 0;
+}

@@ -3,35 +3,51 @@
  * TaskJournal: append-only checkpoint journal for parallel campaigns.
  *
  * A campaign that can be killed mid-run (OOM killer, ^C, a cluster
- * pre-emption) records each completed task's serialized result as one
- * journal line. On restart, completed tasks are replayed from the
- * journal instead of re-executed; because every task is independently
- * seeded via hashCombine(seed, index) and results are merged in index
- * order, a resumed campaign is bit-identical to an uninterrupted one
- * for any --jobs value.
+ * pre-emption, a supervisor SIGKILL) records each completed task's
+ * serialized result as one journal line. On restart, completed tasks
+ * are replayed from the journal instead of re-executed; because every
+ * task is independently seeded via hashCombine(seed, index) and
+ * results are merged in index order, a resumed campaign is
+ * bit-identical to an uninterrupted one for any --jobs value, any
+ * worker-process count, and any kill or corruption point.
  *
- * Format: plain text, one record per line —
+ * Current format (v2): plain text, one record per line —
  *
- *   rho-journal v1 <kind> <key-hex>        (header)
- *   task <index> <payload>                 (one per completed task)
+ *   rho-journal v2 <kind> <key-hex>                  (header)
+ *   task <index> <seq> <crc-hex> <payload>           (one per task)
+ *
+ * `seq` is a strictly monotonic per-file sequence number and `crc` a
+ * CRC32 (IEEE) over "<index> <seq> <payload>". A record is trusted
+ * only if its line is newline-terminated, parses, its CRC matches and
+ * its sequence number strictly increases — so torn final lines, rotted
+ * bits, duplicated lines and spliced tails are all detected. Recovery
+ * is self-healing: loading truncates at the *first* corrupt record
+ * (everything before it replays; the lost suffix re-executes) and the
+ * repaired file is rewritten atomically (write temp + rename) so a
+ * later kill mid-repair cannot make things worse.
+ *
+ * v1 files (PR 2–6 binaries: no seq, no CRC) still load: complete,
+ * parseable lines are restored with the legacy rules, then the file is
+ * upgraded in place to v2 via the same atomic rewrite.
  *
  * The key fingerprints the campaign parameters; opening a journal
- * whose key differs from the current campaign discards it (the file
- * is truncated and restarted). A record line is only trusted if
- * complete — a torn final line from a kill mid-write is ignored, as
- * is everything a parser cannot read. Doubles are serialized as
- * bit-exact hex so replayed results round-trip exactly.
+ * whose key (or kind) differs from the current campaign discards it.
+ * Doubles are serialized as bit-exact hex so replayed results
+ * round-trip exactly.
  */
 
 #ifndef RHO_COMMON_CHECKPOINT_HH
 #define RHO_COMMON_CHECKPOINT_HH
 
 #include <bit>
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 namespace rho
 {
@@ -42,19 +58,72 @@ std::string encodeDouble(double x);
 /** Inverse of encodeDouble; nullopt on malformed input. */
 std::optional<double> decodeDouble(const std::string &s);
 
-/** Append-only, crash-tolerant per-task result journal. */
+/** CRC32 (IEEE 802.3, reflected) — the journal record checksum. */
+std::uint32_t crc32(const void *data, std::size_t len);
+
+/** Durability/overhead trade-off for journal appends. */
+enum class FsyncPolicy : std::uint8_t
+{
+    Never,     //!< OS page cache only (journal survives process death,
+               //!< not a host power cut)
+    PerRecord, //!< fsync after every record (default; a reaped record
+               //!< is durable)
+    Interval,  //!< fsync every JournalOptions::fsyncInterval records
+};
+
+/** Optional knobs and hooks for a TaskJournal. */
+struct JournalOptions
+{
+    FsyncPolicy fsync = FsyncPolicy::PerRecord;
+    unsigned fsyncInterval = 32; //!< used by FsyncPolicy::Interval
+
+    /**
+     * Fault hook (chaos/testing): called once per appended record with
+     * the record line's size in bits; return a bit index to corrupt
+     * that record on disk, or -1 to write it intact. The flipped bit
+     * makes the record fail its CRC on the next open — exercising the
+     * self-healing recovery path end to end.
+     */
+    std::function<int(std::size_t num_bits)> bitRot;
+
+    /**
+     * Observer called after each record is durably appended (service
+     * workers wire their status-file heartbeat here).
+     */
+    std::function<void(unsigned index, std::uint64_t seq)> onRecord;
+};
+
+/** What TaskJournal found (and did) while opening a file. */
+struct JournalRecovery
+{
+    unsigned fileVersion = 0;       //!< 1 or 2; 0 = no reusable file
+    std::size_t recordsLoaded = 0;  //!< restorable records
+    std::size_t recordsDropped = 0; //!< corrupt record + lost suffix
+    bool truncatedAtCorruption = false; //!< v2 self-healing fired
+    bool upgradedFromV1 = false;    //!< v1 file rewritten as v2
+    bool discarded = false;         //!< key/kind mismatch: file reset
+};
+
+/** Append-only, crash-tolerant, corruption-detecting task journal. */
 class TaskJournal
 {
   public:
     /**
      * Open (or create) the journal at `path` for a campaign
-     * fingerprinted by `key`. An existing file with a matching header
-     * has its complete task records loaded for replay; a mismatched
-     * or unparsable file is discarded and rewritten. `kind` names the
-     * campaign type ("sweep", "fuzz") purely for human inspection.
+     * fingerprinted by `key`. An existing v2 file with a matching
+     * header has its verified task records loaded for replay (and is
+     * repaired in place if a corrupt suffix is found); a v1 file is
+     * loaded with the legacy rules and upgraded. A mismatched or
+     * unparsable file is discarded and rewritten. `kind` names the
+     * campaign type ("sweep3", "fuzz3") and is part of the match.
      */
     TaskJournal(const std::string &path, std::uint64_t key,
-                const std::string &kind);
+                const std::string &kind,
+                const JournalOptions &options = JournalOptions{});
+    ~TaskJournal();
+
+    TaskJournal(const TaskJournal &) = delete;
+    TaskJournal &operator=(const TaskJournal &) = delete;
 
     /** Payload of a previously completed task, if journaled. */
     std::optional<std::string> lookup(unsigned index) const;
@@ -62,18 +131,49 @@ class TaskJournal
     /** Number of restorable task records loaded at open. */
     std::size_t restoredCount() const { return restored.size(); }
 
+    /** All restored records (service-layer shard merge reads this). */
+    const std::unordered_map<unsigned, std::string> &
+    entries() const
+    {
+        return restored;
+    }
+
     /**
-     * Record a completed task. Thread-safe; the line is flushed to
-     * the file before returning so a later kill cannot lose it.
-     * Payloads must not contain newlines.
+     * Record a completed task. Thread-safe; the line is written (and,
+     * per the fsync policy, made durable) before returning, so a later
+     * kill cannot lose it. Payloads must not contain newlines.
      */
     void record(unsigned index, const std::string &payload);
 
+    /** Force an fsync of everything appended so far. */
+    void sync();
+
     const std::string &path() const { return filePath; }
 
+    /** What the constructor found on disk. */
+    const JournalRecovery &recovery() const { return recov; }
+
   private:
+    struct LoadedLine
+    {
+        unsigned index;
+        std::uint64_t seq;
+        std::string payload;
+    };
+
+    /** Write header + records to a temp file and rename into place. */
+    void rewriteAtomic(const std::vector<LoadedLine> &lines);
+    void openAppendFd();
+    void maybeFsync();
+
     std::string filePath;
+    std::string header;
     std::unordered_map<unsigned, std::string> restored;
+    JournalOptions opts;
+    JournalRecovery recov;
+    std::uint64_t nextSeq = 1;
+    unsigned recordsSinceSync = 0;
+    int fd = -1;
     std::mutex mtx;
 };
 

@@ -37,6 +37,12 @@ enum class FailureCode : std::uint8_t
     MassageFailed,          //!< could not steer a PT page to the victim
     FlipNotReproduced,      //!< templated flip failed to re-trigger
     RetryBudgetExhausted,   //!< all configured retries consumed
+
+    // Campaign service (src/service supervisor + journal layer).
+    WorkerCrashed,          //!< worker process exited abnormally
+    WorkerHung,             //!< worker missed heartbeats / deadline
+    ShardQuarantined,       //!< shard exhausted its retry budget
+    JournalCorrupted,       //!< journal records failed CRC / were lost
 };
 
 /** Stable identifier string (used in logs and machine output). */
@@ -60,6 +66,10 @@ failureCodeName(FailureCode c)
     case FailureCode::FlipNotReproduced: return "flip-not-reproduced";
     case FailureCode::RetryBudgetExhausted:
         return "retry-budget-exhausted";
+    case FailureCode::WorkerCrashed: return "worker-crashed";
+    case FailureCode::WorkerHung: return "worker-hung";
+    case FailureCode::ShardQuarantined: return "shard-quarantined";
+    case FailureCode::JournalCorrupted: return "journal-corrupted";
     }
     return "unknown";
 }

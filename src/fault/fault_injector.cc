@@ -10,18 +10,24 @@ FaultStats::summary() const
 {
     return strFormat(
         "faults: timing=%llu flips-suppressed=%llu spurious-refresh=%llu "
-        "alloc-fail=%llu frag-spike=%llu",
+        "alloc-fail=%llu frag-spike=%llu worker-crash=%llu "
+        "worker-hang=%llu journal-rot=%llu",
         (unsigned long long)timingPerturbations,
         (unsigned long long)flipsSuppressed,
         (unsigned long long)spuriousRefreshes,
         (unsigned long long)allocFailures,
-        (unsigned long long)fragmentSpikes);
+        (unsigned long long)fragmentSpikes,
+        (unsigned long long)workerCrashes,
+        (unsigned long long)workerHangs,
+        (unsigned long long)journalBitsFlipped);
 }
 
 FaultInjector::FaultInjector(FaultSchedule schedule, std::uint64_t seed)
     : sched(std::move(schedule)), timingRng(hashCombine(seed, 1)),
       flipRng(hashCombine(seed, 2)), refreshRng(hashCombine(seed, 3)),
-      allocRng(hashCombine(seed, 4)), fragmentRng(hashCombine(seed, 5))
+      allocRng(hashCombine(seed, 4)), fragmentRng(hashCombine(seed, 5)),
+      crashRng(hashCombine(seed, 6)), hangRng(hashCombine(seed, 7)),
+      rotRng(hashCombine(seed, 8))
 {
 }
 
@@ -99,6 +105,50 @@ FaultInjector::allocFails()
                   0);
     }
     return hit;
+}
+
+bool
+FaultInjector::workerCrash()
+{
+    FaultLevels l = levelsNow();
+    noteActivity(l.any());
+    bool hit = crashRng.chance(l.workerCrashProb);
+    if (hit) {
+        ++st.workerCrashes;
+        RHO_TRACE(tracer, now(), EventKind::FaultDelivered, 0,
+                  static_cast<std::uint32_t>(FaultChannel::WorkerCrash),
+                  0, 0);
+    }
+    return hit;
+}
+
+bool
+FaultInjector::workerHang()
+{
+    FaultLevels l = levelsNow();
+    noteActivity(l.any());
+    bool hit = hangRng.chance(l.workerHangProb);
+    if (hit) {
+        ++st.workerHangs;
+        RHO_TRACE(tracer, now(), EventKind::FaultDelivered, 0,
+                  static_cast<std::uint32_t>(FaultChannel::WorkerHang),
+                  0, 0);
+    }
+    return hit;
+}
+
+int
+FaultInjector::journalBitRot(std::size_t num_bits)
+{
+    FaultLevels l = levelsNow();
+    noteActivity(l.any());
+    if (num_bits == 0 || !rotRng.chance(l.journalBitRotProb))
+        return -1;
+    ++st.journalBitsFlipped;
+    RHO_TRACE(tracer, now(), EventKind::FaultDelivered, 0,
+              static_cast<std::uint32_t>(FaultChannel::JournalBitRot), 0,
+              0);
+    return static_cast<int>(rotRng.uniformInt(0, num_bits - 1));
 }
 
 bool

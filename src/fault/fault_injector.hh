@@ -17,6 +17,7 @@
 #ifndef RHO_FAULT_FAULT_INJECTOR_HH
 #define RHO_FAULT_FAULT_INJECTOR_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -36,12 +37,16 @@ struct FaultStats
     std::uint64_t spuriousRefreshes = 0;
     std::uint64_t allocFailures = 0;
     std::uint64_t fragmentSpikes = 0;
+    std::uint64_t workerCrashes = 0;
+    std::uint64_t workerHangs = 0;
+    std::uint64_t journalBitsFlipped = 0;
 
     std::uint64_t
     total() const
     {
         return timingPerturbations + flipsSuppressed + spuriousRefreshes +
-               allocFailures + fragmentSpikes;
+               allocFailures + fragmentSpikes + workerCrashes +
+               workerHangs + journalBitsFlipped;
     }
 
     /** One-line human-readable summary for bench/chaos output. */
@@ -83,6 +88,19 @@ class FaultInjector
     /** True if a fragmentation spike should hit the allocator now. */
     bool fragmentSpike();
 
+    /** True if this worker launch should crash mid-shard (supervisor). */
+    bool workerCrash();
+
+    /** True if this worker launch should wedge (miss heartbeats). */
+    bool workerHang();
+
+    /**
+     * Journal bit-rot for one record of `num_bits` bits: the bit index
+     * to flip, or -1 to leave the record intact. Wire into
+     * JournalOptions::bitRot.
+     */
+    int journalBitRot(std::size_t num_bits);
+
     const FaultStats &stats() const { return st; }
     void clearStats() { st = FaultStats{}; }
 
@@ -105,6 +123,9 @@ class FaultInjector
     Rng refreshRng;
     Rng allocRng;
     Rng fragmentRng;
+    Rng crashRng;
+    Rng hangRng;
+    Rng rotRng;
     FaultStats st;
     Tracer *tracer = nullptr;
     bool lastActive = false;

@@ -13,7 +13,9 @@ FaultLevels::any() const
 {
     return timingNoiseSigmaNs > 0.0 || timingDriftNs != 0.0 ||
            flipSuppressProb > 0.0 || spuriousRefreshProb > 0.0 ||
-           allocFailProb > 0.0 || fragmentSpikeProb > 0.0;
+           allocFailProb > 0.0 || fragmentSpikeProb > 0.0 ||
+           workerCrashProb > 0.0 || workerHangProb > 0.0 ||
+           journalBitRotProb > 0.0;
 }
 
 namespace
@@ -38,6 +40,10 @@ FaultLevels::operator+=(const FaultLevels &o)
     allocFailProb = saturatingProb(allocFailProb, o.allocFailProb);
     fragmentSpikeProb =
         saturatingProb(fragmentSpikeProb, o.fragmentSpikeProb);
+    workerCrashProb = saturatingProb(workerCrashProb, o.workerCrashProb);
+    workerHangProb = saturatingProb(workerHangProb, o.workerHangProb);
+    journalBitRotProb =
+        saturatingProb(journalBitRotProb, o.journalBitRotProb);
     return *this;
 }
 
@@ -52,6 +58,10 @@ FaultLevels::scaled(double k) const
         std::clamp(spuriousRefreshProb * k, 0.0, 1.0);
     out.allocFailProb = std::clamp(allocFailProb * k, 0.0, 1.0);
     out.fragmentSpikeProb = std::clamp(fragmentSpikeProb * k, 0.0, 1.0);
+    out.workerCrashProb = std::clamp(workerCrashProb * k, 0.0, 1.0);
+    out.workerHangProb = std::clamp(workerHangProb * k, 0.0, 1.0);
+    out.journalBitRotProb =
+        std::clamp(journalBitRotProb * k, 0.0, 1.0);
     return out;
 }
 
@@ -162,6 +172,17 @@ FaultSchedule::spuriousTrr(double prob_per_act, Ns start, Ns end)
     p.endNs = end;
     p.levels.spuriousRefreshProb = prob_per_act;
     return FaultSchedule().add(p);
+}
+
+FaultSchedule
+FaultSchedule::serviceChaos(double crash_prob, double hang_prob,
+                            double bit_rot_prob)
+{
+    FaultLevels l;
+    l.workerCrashProb = crash_prob;
+    l.workerHangProb = hang_prob;
+    l.journalBitRotProb = bit_rot_prob;
+    return constant(l);
 }
 
 FaultSchedule

@@ -38,6 +38,9 @@ struct FaultLevels
     double spuriousRefreshProb = 0.0; //!< P(extra TRR-style refresh)/ACT
     double allocFailProb = 0.0;     //!< P(buddy allocation fails)
     double fragmentSpikeProb = 0.0; //!< P(fragmentation spike)/alloc
+    double workerCrashProb = 0.0;   //!< P(worker dies mid-shard)/launch
+    double workerHangProb = 0.0;    //!< P(worker wedges)/launch
+    double journalBitRotProb = 0.0; //!< P(journal record bit flips)/record
 
     /** True if any channel is non-zero. */
     bool any() const;
@@ -120,6 +123,15 @@ class FaultSchedule
      * ISSUE acceptance schedule).
      */
     static FaultSchedule chaosDefault();
+
+    /**
+     * Campaign-service chaos: per-launch worker crash/hang
+     * probabilities and per-record journal bit-rot, constant for the
+     * whole run. Consumed by the src/service supervisor layer.
+     */
+    static FaultSchedule serviceChaos(double crash_prob,
+                                      double hang_prob,
+                                      double bit_rot_prob);
 
   private:
     std::vector<FaultPhase> phases;

@@ -97,6 +97,22 @@ parseFuzzTask(const std::string &payload, FuzzTaskResult &r)
 
 } // namespace
 
+std::uint64_t
+fuzzJournalKey(const SystemSpec &spec, const HammerConfig &cfg,
+               const FuzzParams &params, std::uint64_t seed)
+{
+    std::uint64_t key = campaignKey(spec, cfg, seed);
+    key = hashCombine(key, params.numPatterns);
+    key = hashCombine(key, params.locationsPerPattern);
+    key = hashCombine(key, params.patternParams.minPairs);
+    key = hashCombine(key, params.patternParams.maxPairs);
+    key = hashCombine(key, params.patternParams.minPeriodLog2);
+    key = hashCombine(key, params.patternParams.maxPeriodLog2);
+    key = hashCombine(key, params.patternParams.maxFreqLog2);
+    key = hashCombine(key, params.patternParams.maxAmpLog2);
+    return key;
+}
+
 FuzzResult
 fuzzCampaign(const SystemSpec &spec, const HammerConfig &cfg,
              const FuzzParams &params, std::uint64_t seed,
@@ -104,23 +120,19 @@ fuzzCampaign(const SystemSpec &spec, const HammerConfig &cfg,
              std::vector<TraceEvent> *trace)
 {
     const bool tracing = spec.trace.enabled;
+    const std::vector<std::uint8_t> *mask = params.taskMask;
     std::shared_ptr<TaskJournal> journal;
     if (!params.checkpointPath.empty()) {
-        std::uint64_t key = campaignKey(spec, cfg, seed);
-        key = hashCombine(key, params.numPatterns);
-        key = hashCombine(key, params.locationsPerPattern);
-        key = hashCombine(key, params.patternParams.minPairs);
-        key = hashCombine(key, params.patternParams.maxPairs);
-        key = hashCombine(key, params.patternParams.minPeriodLog2);
-        key = hashCombine(key, params.patternParams.maxPeriodLog2);
-        key = hashCombine(key, params.patternParams.maxFreqLog2);
-        key = hashCombine(key, params.patternParams.maxAmpLog2);
-        journal = std::make_shared<TaskJournal>(params.checkpointPath,
-                                                key, "fuzz3");
+        journal = std::make_shared<TaskJournal>(
+            params.checkpointPath,
+            fuzzJournalKey(spec, cfg, params, seed), FuzzJournalKind,
+            params.journal);
     }
     std::atomic<std::uint64_t> restored{0};
 
     auto task = [&](unsigned i) -> FuzzTaskResult {
+        if (mask && !(*mask)[i])
+            return FuzzTaskResult{}; // another shard's task
         std::uint64_t task_seed = hashCombine(seed, i);
         Rng pattern_rng(task_seed);
         FuzzTaskResult r;
@@ -176,7 +188,12 @@ fuzzCampaign(const SystemSpec &spec, const HammerConfig &cfg,
     // (earliest strict maximum wins the best-pattern slot) hold for
     // any job count.
     FuzzResult res;
-    for (FuzzTaskResult &t : tasks) {
+    unsigned merged = 0;
+    for (unsigned i = 0; i < tasks.size(); ++i) {
+        if (mask && !(*mask)[i])
+            continue; // another shard's task: no merge contribution
+        FuzzTaskResult &t = tasks[i];
+        ++merged;
         if (t.flips > 0) {
             ++res.effectivePatterns;
             res.totalFlips += t.flips;
@@ -199,7 +216,7 @@ fuzzCampaign(const SystemSpec &spec, const HammerConfig &cfg,
             trace->insert(trace->end(), t.events.begin(), t.events.end());
     }
     if (metrics)
-        metrics->add("campaign.patterns", params.numPatterns);
+        metrics->add("campaign.patterns", merged);
     if (stats)
         stats->simNs = res.simTimeNs;
     return res;

@@ -20,13 +20,18 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "common/checkpoint.hh"
 #include "common/stats.hh"
 #include "hammer/hammer_session.hh"
 #include "trace/metrics.hh"
 
 namespace rho
 {
+
+/** Journal kind tag for fuzzCampaign() checkpoints. */
+inline constexpr const char *FuzzJournalKind = "fuzz3";
 
 /** Fuzzing campaign sizing. */
 struct FuzzParams
@@ -45,6 +50,16 @@ struct FuzzParams
      * Rng(hashCombine(seed, i)) exactly as the live path builds it.
      */
     std::string checkpointPath;
+
+    /** Durability/fault options for the checkpoint journal. */
+    JournalOptions journal{};
+
+    /**
+     * Service sharding: when non-null, only tasks with mask[i] != 0
+     * execute and merge (see SweepParams::taskMask — same contract,
+     * same key-sharing rules).
+     */
+    const std::vector<std::uint8_t> *taskMask = nullptr;
 };
 
 /** Campaign outcome (Table 6 reports totalFlips, bestPatternFlips). */
@@ -89,6 +104,15 @@ FuzzResult fuzzCampaign(const SystemSpec &spec, const HammerConfig &cfg,
                         ParallelStats *stats = nullptr,
                         MetricsRegistry *metrics = nullptr,
                         std::vector<TraceEvent> *trace = nullptr);
+
+/**
+ * The exact journal key fuzzCampaign() opens its checkpoint with
+ * (campaignKey plus the fuzz-specific fields). The service layer uses
+ * it to read shard journals and build the merged journal.
+ */
+std::uint64_t fuzzJournalKey(const SystemSpec &spec,
+                             const HammerConfig &cfg,
+                             const FuzzParams &params, std::uint64_t seed);
 
 } // namespace rho
 

@@ -167,6 +167,17 @@ parseSweepTask(const std::string &payload)
 
 } // namespace
 
+std::uint64_t
+sweepJournalKey(const SystemSpec &spec, const HammerConfig &cfg,
+                const SweepParams &params, const HammerPattern &pattern,
+                std::uint64_t seed)
+{
+    std::uint64_t key = campaignKey(spec, cfg, seed);
+    key = hashCombine(key, params.numLocations);
+    key = hashCombine(key, pattern.id());
+    return key;
+}
+
 SweepResult
 sweepCampaign(const SystemSpec &spec, const HammerPattern &pattern,
               const HammerConfig &cfg, const SweepParams &params,
@@ -175,18 +186,20 @@ sweepCampaign(const SystemSpec &spec, const HammerPattern &pattern,
 {
     const DimmGeometry &geom = spec.dimm->geom;
     const bool tracing = spec.trace.enabled;
+    const std::vector<std::uint8_t> *mask = params.taskMask;
 
     std::shared_ptr<TaskJournal> journal;
     if (!params.checkpointPath.empty()) {
-        std::uint64_t key = campaignKey(spec, cfg, seed);
-        key = hashCombine(key, params.numLocations);
-        key = hashCombine(key, pattern.id());
-        journal = std::make_shared<TaskJournal>(params.checkpointPath,
-                                                key, "sweep3");
+        journal = std::make_shared<TaskJournal>(
+            params.checkpointPath,
+            sweepJournalKey(spec, cfg, params, pattern, seed),
+            SweepJournalKind, params.journal);
     }
     std::atomic<std::uint64_t> restored{0};
 
     auto task = [&](unsigned i) -> SweepTaskResult {
+        if (mask && !(*mask)[i])
+            return SweepTaskResult{}; // another shard's task
         // A journal restore has no event stream, so a tracing run
         // recomputes every task to keep the merged trace complete.
         if (journal && !tracing) {
@@ -238,7 +251,12 @@ sweepCampaign(const SystemSpec &spec, const HammerPattern &pattern,
 
     // Merge in task-index order: identical output for any job count.
     SweepResult res;
-    for (const SweepTaskResult &t : tasks) {
+    unsigned merged = 0;
+    for (unsigned i = 0; i < tasks.size(); ++i) {
+        if (mask && !(*mask)[i])
+            continue; // another shard's task: no merge contribution
+        const SweepTaskResult &t = tasks[i];
+        ++merged;
         res.totalFlips += t.flips;
         res.flipsPerLocation.push_back(t.flips);
         res.simTimeNs += t.simTimeNs;
@@ -257,7 +275,7 @@ sweepCampaign(const SystemSpec &spec, const HammerPattern &pattern,
             trace->insert(trace->end(), t.events.begin(), t.events.end());
     }
     if (metrics)
-        metrics->add("campaign.locations", params.numLocations);
+        metrics->add("campaign.locations", merged);
     if (stats)
         stats->simNs = res.simTimeNs;
     return res;

@@ -21,12 +21,16 @@
 #include <string>
 #include <vector>
 
+#include "common/checkpoint.hh"
 #include "common/stats.hh"
 #include "hammer/hammer_session.hh"
 #include "trace/metrics.hh"
 
 namespace rho
 {
+
+/** Journal kind tag for sweepCampaign() checkpoints. */
+inline constexpr const char *SweepJournalKind = "sweep3";
 
 /** Campaign sizing for sweepCampaign(). */
 struct SweepParams
@@ -42,6 +46,19 @@ struct SweepParams
      * under different campaign parameters is detected and discarded.
      */
     std::string checkpointPath;
+
+    /** Durability/fault options for the checkpoint journal. */
+    JournalOptions journal{};
+
+    /**
+     * Service sharding: when non-null, only tasks with mask[i] != 0
+     * execute and merge; the rest are skipped entirely (no journal
+     * record, no merge contribution). The mask is NOT part of the
+     * journal key — shards of one campaign share the campaign's key so
+     * a supervisor can absorb shard journals into one merged journal.
+     * A full mask reproduces the unmasked campaign bit-identically.
+     */
+    const std::vector<std::uint8_t> *taskMask = nullptr;
 };
 
 /** Per-location and cumulative sweep results. */
@@ -117,6 +134,17 @@ SweepResult sweepCampaign(const SystemSpec &spec,
  */
 std::uint64_t campaignKey(const SystemSpec &spec, const HammerConfig &cfg,
                           std::uint64_t seed);
+
+/**
+ * The exact journal key sweepCampaign() opens its checkpoint with
+ * (campaignKey plus the sweep-specific fields). The service layer uses
+ * it to read shard journals and build the merged journal.
+ */
+std::uint64_t sweepJournalKey(const SystemSpec &spec,
+                              const HammerConfig &cfg,
+                              const SweepParams &params,
+                              const HammerPattern &pattern,
+                              std::uint64_t seed);
 
 } // namespace rho
 

@@ -1,0 +1,284 @@
+#include "service/campaign_service.hh"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "common/logging.hh"
+#include "service/worker_protocol.hh"
+
+namespace rho::service
+{
+
+namespace
+{
+
+/**
+ * Chain the worker-side hooks onto journal options: status heartbeat
+ * first, then the chaos plan (so the record that trips the chaos is
+ * already durable — crash-after-record semantics, the worst case for
+ * the resume path).
+ */
+JournalOptions
+withWorkerHooks(JournalOptions opts, StatusFile &status,
+                const WorkerChaos &chaos)
+{
+    opts = withStatusHeartbeat(std::move(opts), status);
+    if (!chaos.any())
+        return opts;
+    auto inner = opts.onRecord;
+    auto records = std::make_shared<unsigned>(0);
+    WorkerChaos plan = chaos;
+    opts.onRecord = [inner, records, plan](unsigned index,
+                                           std::uint64_t seq) {
+        if (inner)
+            inner(index, seq);
+        unsigned n = ++*records;
+        if (plan.crashAfterRecords != 0 && n >= plan.crashAfterRecords)
+            ::raise(SIGKILL);
+        if (plan.hangAfterRecords != 0 && n >= plan.hangAfterRecords) {
+            // Wedge without touching any file: the supervisor's
+            // heartbeat timeout is the only way out.
+            for (;;)
+                ::pause();
+        }
+    };
+    return opts;
+}
+
+/** Journal options a worker starts from (before the worker hooks). */
+JournalOptions
+workerJournalOptions(const ServiceParams &service)
+{
+    JournalOptions opts;
+    opts.fsync = service.fsync;
+    if (service.faults != nullptr) {
+        FaultInjector *faults = service.faults;
+        opts.bitRot = [faults](std::size_t num_bits) {
+            return faults->journalBitRot(num_bits);
+        };
+    }
+    return opts;
+}
+
+/**
+ * Shard, supervise, and absorb completed shard journals into the
+ * merged journal. On return `mask_out`/`use_mask` describe which tasks
+ * the parent's merge run may execute (quarantined shards masked out).
+ */
+ServiceReport
+superviseAndMerge(unsigned total_tasks, const ServiceParams &service,
+                  std::uint64_t journal_key, const char *kind,
+                  const WorkerBody &body,
+                  std::vector<std::uint8_t> &mask_out, bool &use_mask)
+{
+    if (service.journalBase.empty())
+        fatal("campaign service: ServiceParams::journalBase is required");
+
+    std::vector<ShardSpec> shards =
+        makeShards(total_tasks, service.shards, service.journalBase);
+
+    SupervisorConfig scfg = service.supervisor;
+    if (!scfg.chaos && service.faults != nullptr) {
+        FaultInjector *faults = service.faults;
+        scfg.chaos = [faults](const ShardSpec &shard, unsigned attempt) {
+            return chaosFromFaults(*faults, shard, attempt);
+        };
+    }
+
+    ServiceReport report;
+    Supervisor supervisor(scfg);
+    report.supervisor = service.execArgv
+        ? supervisor.runExec(shards, service.execArgv)
+        : supervisor.run(shards, body);
+    report.mergedJournalPath = service.journalBase + ".merged";
+
+    // Quarantined shards are excluded from the merge; their tasks are
+    // the degradation the FailureCode reports.
+    mask_out.assign(std::max(total_tasks, 1u), 1);
+    use_mask = false;
+    for (const ShardReport &r : report.supervisor.shards) {
+        if (r.state != ShardState::Quarantined)
+            continue;
+        use_mask = true;
+        for (unsigned i = 0; i < r.spec.taskCount; ++i)
+            mask_out[r.spec.firstTask + i] = 0;
+    }
+
+    // Absorb every completed shard's verified records. Shard journals
+    // share the campaign key, so TaskJournal's own recovery rules
+    // (CRC, seq, torn lines) decide what is trustworthy — anything
+    // rejected here simply re-executes in the parent's merge run.
+    {
+        JournalOptions mopts;
+        mopts.fsync = FsyncPolicy::Never;
+        TaskJournal merged(report.mergedJournalPath, journal_key, kind,
+                           mopts);
+        std::vector<std::uint8_t> have(std::max(total_tasks, 1u), 0);
+        for (unsigned i = 0; i < total_tasks; ++i)
+            if (merged.lookup(i))
+                have[i] = 1;
+        for (const ShardReport &r : report.supervisor.shards) {
+            if (r.state != ShardState::Done)
+                continue;
+            TaskJournal shard_journal(r.spec.journalPath, journal_key,
+                                      kind, mopts);
+            for (const auto &[index, payload] : shard_journal.entries()) {
+                if (index >= total_tasks || have[index])
+                    continue;
+                merged.record(index, payload);
+                have[index] = 1;
+            }
+        }
+        merged.sync();
+
+        for (unsigned i = 0; i < total_tasks; ++i) {
+            if (!mask_out[i])
+                continue;
+            if (have[i])
+                ++report.tasksFromWorkers;
+            else
+                ++report.tasksReexecuted;
+        }
+    }
+
+    report.code = use_mask ? FailureCode::ShardQuarantined
+                           : FailureCode::None;
+    return report;
+}
+
+} // namespace
+
+WorkerChaos
+chaosFromFaults(FaultInjector &faults, const ShardSpec &shard,
+                unsigned attempt)
+{
+    // Draw both channels unconditionally so enabling one never shifts
+    // the other's stream.
+    bool crash = faults.workerCrash();
+    bool hang = faults.workerHang();
+    WorkerChaos chaos;
+    unsigned span = std::max(1u, shard.taskCount);
+    if (crash)
+        chaos.crashAfterRecords = 1 + (shard.id + attempt) % span;
+    else if (hang)
+        chaos.hangAfterRecords = 1 + (shard.id * 3 + attempt) % span;
+    return chaos;
+}
+
+int
+runSweepShardWorker(const SystemSpec &spec, const HammerPattern &pattern,
+                    const HammerConfig &cfg, SweepParams params,
+                    std::uint64_t seed, const ShardSpec &shard,
+                    unsigned attempt, const WorkerChaos &chaos)
+{
+    StatusFile status(shard.statusPath);
+    status.start(shard.id, static_cast<int>(::getpid()), attempt);
+
+    std::vector<std::uint8_t> mask = shard.mask(params.numLocations);
+    params.checkpointPath = shard.journalPath;
+    params.taskMask = &mask;
+    params.journal = withWorkerHooks(std::move(params.journal), status,
+                                     chaos);
+    sweepCampaign(spec, pattern, cfg, params, seed);
+
+    status.finish(shard.taskCount);
+    return 0;
+}
+
+int
+runFuzzShardWorker(const SystemSpec &spec, const HammerConfig &cfg,
+                   FuzzParams params, std::uint64_t seed,
+                   const ShardSpec &shard, unsigned attempt,
+                   const WorkerChaos &chaos)
+{
+    StatusFile status(shard.statusPath);
+    status.start(shard.id, static_cast<int>(::getpid()), attempt);
+
+    std::vector<std::uint8_t> mask = shard.mask(params.numPatterns);
+    params.checkpointPath = shard.journalPath;
+    params.taskMask = &mask;
+    params.journal = withWorkerHooks(std::move(params.journal), status,
+                                     chaos);
+    fuzzCampaign(spec, cfg, params, seed);
+
+    status.finish(shard.taskCount);
+    return 0;
+}
+
+SweepServiceOutcome
+serviceSweepCampaign(const SystemSpec &spec, const HammerPattern &pattern,
+                     const HammerConfig &cfg, const SweepParams &params,
+                     std::uint64_t seed, const ServiceParams &service)
+{
+    SweepParams base = params;
+    base.checkpointPath.clear();
+    base.journal = JournalOptions{};
+    base.taskMask = nullptr;
+
+    std::uint64_t key = sweepJournalKey(spec, cfg, base, pattern, seed);
+
+    WorkerBody body = [&](const ShardSpec &shard, unsigned attempt,
+                          const WorkerChaos &chaos) {
+        SweepParams wp = base;
+        wp.jobs = std::max(1u, service.jobsPerWorker);
+        wp.journal = workerJournalOptions(service);
+        return runSweepShardWorker(spec, pattern, cfg, std::move(wp), seed,
+                                   shard, attempt, chaos);
+    };
+
+    SweepServiceOutcome out;
+    std::vector<std::uint8_t> mask;
+    bool use_mask = false;
+    out.report = superviseAndMerge(base.numLocations, service, key,
+                                   SweepJournalKind, body, mask, use_mask);
+
+    // The merge run: replay everything the workers proved, re-execute
+    // whatever was lost, skip quarantined tasks.
+    SweepParams fin = base;
+    fin.checkpointPath = out.report.mergedJournalPath;
+    fin.journal.fsync = service.fsync;
+    fin.taskMask = use_mask ? &mask : nullptr;
+    out.result = sweepCampaign(spec, pattern, cfg, fin, seed);
+    return out;
+}
+
+FuzzServiceOutcome
+serviceFuzzCampaign(const SystemSpec &spec, const HammerConfig &cfg,
+                    const FuzzParams &params, std::uint64_t seed,
+                    const ServiceParams &service)
+{
+    FuzzParams base = params;
+    base.checkpointPath.clear();
+    base.journal = JournalOptions{};
+    base.taskMask = nullptr;
+
+    std::uint64_t key = fuzzJournalKey(spec, cfg, base, seed);
+
+    WorkerBody body = [&](const ShardSpec &shard, unsigned attempt,
+                          const WorkerChaos &chaos) {
+        FuzzParams wp = base;
+        wp.jobs = std::max(1u, service.jobsPerWorker);
+        wp.journal = workerJournalOptions(service);
+        return runFuzzShardWorker(spec, cfg, std::move(wp), seed, shard,
+                                  attempt, chaos);
+    };
+
+    FuzzServiceOutcome out;
+    std::vector<std::uint8_t> mask;
+    bool use_mask = false;
+    out.report = superviseAndMerge(base.numPatterns, service, key,
+                                   FuzzJournalKind, body, mask, use_mask);
+
+    FuzzParams fin = base;
+    fin.checkpointPath = out.report.mergedJournalPath;
+    fin.journal.fsync = service.fsync;
+    fin.taskMask = use_mask ? &mask : nullptr;
+    out.result = fuzzCampaign(spec, cfg, fin, seed);
+    return out;
+}
+
+} // namespace rho::service

@@ -1,0 +1,19 @@
+#include "service/retry_policy.hh"
+
+#include <algorithm>
+
+namespace rho::service
+{
+
+double
+RetryPolicy::delayForAttempt(unsigned attempt) const
+{
+    if (attempt <= 1)
+        return 0.0;
+    double d = initialBackoffS;
+    for (unsigned i = 2; i < attempt; ++i)
+        d *= backoffFactor;
+    return std::min(d, maxBackoffS);
+}
+
+} // namespace rho::service

@@ -1,0 +1,110 @@
+#include "service/worker_protocol.hh"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace rho::service
+{
+
+StatusFile::StatusFile(const std::string &path)
+{
+    fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    if (fd < 0)
+        fatal("StatusFile: cannot write %s", path.c_str());
+}
+
+StatusFile::~StatusFile()
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+void
+StatusFile::appendLine(const std::string &line)
+{
+    std::string buf = line + "\n";
+    const char *p = buf.data();
+    std::size_t left = buf.size();
+    while (left > 0) {
+        ssize_t n = ::write(fd, p, left);
+        if (n <= 0)
+            return; // status is advisory; never kill the worker over it
+        p += n;
+        left -= static_cast<std::size_t>(n);
+    }
+}
+
+void
+StatusFile::start(unsigned shard, int pid, unsigned attempt)
+{
+    appendLine(strFormat("start %u %d %u", shard, pid, attempt));
+}
+
+void
+StatusFile::taskDone(unsigned index, std::uint64_t seq)
+{
+    appendLine(strFormat("task %u %llu", index, (unsigned long long)seq));
+}
+
+void
+StatusFile::finish(unsigned tasks_completed)
+{
+    appendLine(strFormat("done %u", tasks_completed));
+}
+
+namespace
+{
+
+long long
+fileSize(const std::string &path)
+{
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0)
+        return 0;
+    return static_cast<long long>(st.st_size);
+}
+
+} // namespace
+
+StatusSnapshot
+readStatus(const std::string &status_path, const std::string &journal_path)
+{
+    StatusSnapshot snap;
+    snap.progressBytes = fileSize(status_path) + fileSize(journal_path);
+    std::ifstream in(status_path);
+    std::string line;
+    while (in && std::getline(in, line)) {
+        std::istringstream rec(line);
+        std::string tag;
+        if (!(rec >> tag))
+            continue;
+        if (tag == "start")
+            snap.started = true;
+        else if (tag == "task")
+            ++snap.tasksDone;
+        else if (tag == "done")
+            snap.finished = true;
+    }
+    return snap;
+}
+
+JournalOptions
+withStatusHeartbeat(JournalOptions base, StatusFile &status)
+{
+    auto chained = base.onRecord;
+    base.onRecord = [chained, &status](unsigned index, std::uint64_t seq) {
+        if (chained)
+            chained(index, seq);
+        status.taskDone(index, seq);
+    };
+    return base;
+}
+
+} // namespace rho::service

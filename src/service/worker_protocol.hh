@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The file-protocol between a shard worker and its supervisor.
+ *
+ * A worker owns two files: its shard checkpoint journal (the durable
+ * result log, common/checkpoint.hh) and a small status file it appends
+ * human-readable progress lines to:
+ *
+ *   start <shard> <pid> <attempt>
+ *   task <index> <seq>
+ *   done <tasks-completed>
+ *
+ * The supervisor never parses worker stdout and holds no pipe to the
+ * child — it polls the status + journal files, so a SIGKILLed worker
+ * (OOM killer, chaos) leaves a perfectly readable trail: progress up
+ * to the kill is preserved, and the next attempt resumes from the
+ * journal. Status lines are advisory (heartbeat + humans); the journal
+ * is the source of truth.
+ */
+
+#ifndef RHO_SERVICE_WORKER_PROTOCOL_HH
+#define RHO_SERVICE_WORKER_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/checkpoint.hh"
+
+namespace rho::service
+{
+
+/** Worker-side append-only status writer (one line per event). */
+class StatusFile
+{
+  public:
+    /** Truncates the file: each attempt starts a fresh status trail. */
+    explicit StatusFile(const std::string &path);
+    ~StatusFile();
+
+    StatusFile(const StatusFile &) = delete;
+    StatusFile &operator=(const StatusFile &) = delete;
+
+    void start(unsigned shard, int pid, unsigned attempt);
+    void taskDone(unsigned index, std::uint64_t seq);
+    void finish(unsigned tasks_completed);
+
+  private:
+    void appendLine(const std::string &line);
+    int fd = -1;
+};
+
+/** Supervisor-side snapshot of a worker's observable progress. */
+struct StatusSnapshot
+{
+    bool started = false;
+    bool finished = false;
+    unsigned tasksDone = 0;
+    /** Combined byte size of status + journal files: the heartbeat.
+     *  Any change (either direction — an attempt restart truncates the
+     *  status file) counts as progress. */
+    long long progressBytes = 0;
+};
+
+/** Parse a worker's status file + journal size; missing files are 0. */
+StatusSnapshot readStatus(const std::string &status_path,
+                          const std::string &journal_path);
+
+/**
+ * Chain a StatusFile heartbeat onto journal options: every durable
+ * record also appends a `task` status line (after any hook already in
+ * `base` runs).
+ */
+JournalOptions withStatusHeartbeat(JournalOptions base, StatusFile &status);
+
+} // namespace rho::service
+
+#endif // RHO_SERVICE_WORKER_PROTOCOL_HH

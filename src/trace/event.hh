@@ -105,6 +105,9 @@ enum class FaultChannel : std::uint8_t
     SpuriousRefresh = 2,
     AllocFail = 3,
     FragmentSpike = 4,
+    WorkerCrash = 5,
+    WorkerHang = 6,
+    JournalBitRot = 7,
 };
 
 /** Experiment phases bracketed by PhaseBegin/PhaseEnd. */
