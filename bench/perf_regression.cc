@@ -35,7 +35,10 @@
  *         "e2e_reference_wall_ns_per_sim_ns": ...,
  *         "e2e_speedup_blocked_vs_reference": ...,
  *         "service_locs_per_sec": ...,          // supervised campaign
- *         "service_relative_throughput": ...    // vs in-process run
+ *         "service_relative_throughput": ...,   // vs in-process run
+ *         "device_lpddr4_acts_per_sec": ...,    // per-backend records
+ *         "e2e_zen3_acts_per_sec": ...,         //   (informational,
+ *         "e2e_cortexa72_acts_per_sec": ...     //    never gated)
  *       }
  *     }
  *
@@ -99,12 +102,13 @@ struct LoopResult
 
 /** Raw device activation loop (no CPU model), one location per seed. */
 LoopResult
-deviceLoop(RowStoreKind kind, std::uint64_t seed, std::uint64_t rounds)
+deviceLoop(RowStoreKind kind, std::uint64_t seed, std::uint64_t rounds,
+           const DimmProfile &p = DimmProfile::byId("S2"),
+           const DramTiming *timing = nullptr)
 {
-    const DimmProfile &p = DimmProfile::byId("S2");
     TrrConfig trr;
     trr.enabled = false; // pure row-state machinery (see file header)
-    Dimm d(p, DramTiming::ddr4(p.freqMts), trr);
+    Dimm d(p, timing ? *timing : DramTiming::ddr4(p.freqMts), trr);
     d.setRowStore(kind);
     std::uint32_t bank =
         static_cast<std::uint32_t>(seed % d.geometry().flatBanks());
@@ -131,14 +135,14 @@ deviceLoop(RowStoreKind kind, std::uint64_t seed, std::uint64_t rounds)
  */
 LoopResult
 endToEnd(std::uint64_t seed, std::uint64_t budget, CpuModelKind cpu,
-         RowStoreKind row)
+         RowStoreKind row, Arch arch = Arch::RaptorLake,
+         const DimmProfile &profile = DimmProfile::byId("S2"))
 {
-    MemorySystem sys(Arch::RaptorLake, DimmProfile::byId("S2"),
-                     TrrConfig{}, seed);
+    MemorySystem sys(arch, profile, TrrConfig{}, seed);
     sys.setCpuModel(cpu);
     sys.dimm().setRowStore(row);
     HammerSession session(sys, seed);
-    HammerConfig cfg = rhoConfig(Arch::RaptorLake, true, budget);
+    HammerConfig cfg = rhoConfig(arch, true, budget);
     HammerPattern pattern = HammerPattern::doubleSided();
     HammerLocation loc = session.randomLocation(pattern, cfg);
 
@@ -274,8 +278,16 @@ const char *const metricNames[] = {
     "e2e_speedup_blocked_vs_reference",
     "service_locs_per_sec",
     "service_relative_throughput",
+    // Per-backend throughput records (informational, not gated): the
+    // Zen backend pays for the non-linear mapping + REF-blocking
+    // model, the ARMv8 backend for LPDDR4 timing + synchronous
+    // flushes, the LPDDR4 device loop for the REF-stall branch on the
+    // raw activation path.
+    "device_lpddr4_acts_per_sec",
+    "e2e_zen3_acts_per_sec",
+    "e2e_cortexa72_acts_per_sec",
 };
-constexpr unsigned numMetrics = 11;
+constexpr unsigned numMetrics = 14;
 
 /**
  * Higher-is-better metrics gated by --check. A negative threshold
@@ -364,6 +376,7 @@ main(int argc, char **argv)
     double flat_aps[3], flat_wps[3], speedup[3], e2e_aps[3], e2e_wps[3];
     double e2e_ref_aps[3], e2e_ref_wps[3], e2e_speedup[3];
     double svc_lps[3], svc_rel[3];
+    double lp_aps[3], zen_aps[3], arm_aps[3];
     // Service first, while the heap is small: body-mode workers fork
     // this process, and fork cost scales with the parent's page
     // tables — running after the device/e2e benches would charge
@@ -396,13 +409,32 @@ main(int argc, char **argv)
         e2e_ref_aps[i] = e2e_ref.actsPerSec;
         e2e_ref_wps[i] = e2e_ref.wallNsPerSimNs;
         e2e_speedup[i] = e2e.actsPerSec / e2e_ref.actsPerSec;
+
+        // Non-Intel backends, fast stack only (informational records).
+        const DimmProfile &lp = DimmProfile::lpddr4Sample();
+        DramTiming lp_tim = DramTiming::lpddr4(lp.freqMts);
+        LoopResult lp_dev = deviceLoop(RowStoreKind::Flat, seeds[i],
+                                       ref_rounds, lp, &lp_tim);
+        LoopResult zen = endToEnd(seeds[i], e2e_budget,
+                                  CpuModelKind::Blocked,
+                                  RowStoreKind::Flat, Arch::Zen3);
+        LoopResult arm = endToEnd(seeds[i], e2e_budget,
+                                  CpuModelKind::Blocked,
+                                  RowStoreKind::Flat, Arch::CortexA72,
+                                  lp);
+        lp_aps[i] = lp_dev.actsPerSec;
+        zen_aps[i] = zen.actsPerSec;
+        arm_aps[i] = arm.actsPerSec;
+
         std::printf("seed %llu: device %.2fM acts/s (ref %.2fM, "
                     "speedup %.2fx), end-to-end %.2fM acts/s "
-                    "(ref %.2fM, speedup %.2fx)\n",
+                    "(ref %.2fM, speedup %.2fx), zen3 %.2fM, "
+                    "cortex-a72 %.2fM\n",
                     static_cast<unsigned long long>(seeds[i]),
                     flat.actsPerSec / 1e6, ref.actsPerSec / 1e6,
                     speedup[i], e2e.actsPerSec / 1e6,
-                    e2e_ref.actsPerSec / 1e6, e2e_speedup[i]);
+                    e2e_ref.actsPerSec / 1e6, e2e_speedup[i],
+                    zen.actsPerSec / 1e6, arm.actsPerSec / 1e6);
     }
 
     double metrics[numMetrics] = {
@@ -420,6 +452,9 @@ main(int argc, char **argv)
         median3(e2e_speedup[0], e2e_speedup[1], e2e_speedup[2]),
         median3(svc_lps[0], svc_lps[1], svc_lps[2]),
         median3(svc_rel[0], svc_rel[1], svc_rel[2]),
+        median3(lp_aps[0], lp_aps[1], lp_aps[2]),
+        median3(zen_aps[0], zen_aps[1], zen_aps[2]),
+        median3(arm_aps[0], arm_aps[1], arm_aps[2]),
     };
 
     std::printf("\nmedians over %zu seeds:\n", seeds.size());

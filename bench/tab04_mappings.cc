@@ -1,7 +1,8 @@
 /**
  * @file
- * Table 4: reverse-engineered DRAM address mappings on the four most
- * recent Intel architectures across the three DIMM geometries, checked
+ * Table 4: reverse-engineered DRAM address mappings on every modelled
+ * architecture (four Intel generations, AMD Zen 3's offset non-linear
+ * family, ARM Cortex-A72) across the three DIMM geometries, checked
  * against ground truth.
  */
 
@@ -48,10 +49,17 @@ main()
                 }
                 fns += ")";
             }
-            std::printf("%-12s Bank Func: %s; Row: %u-%u  [%s]\n",
+            std::string off;
+            if (rec.regionOffset != 0) {
+                off = strFormat("; Offset: %#llx",
+                                static_cast<unsigned long long>(
+                                    rec.regionOffset));
+            }
+            std::printf("%-12s Bank Func: %s; Row: %u-%u%s  [%s]\n",
                         archName(arch).c_str(), fns.c_str(),
                         rec.rowBits.empty() ? 0 : rec.rowBits.front(),
                         rec.rowBits.empty() ? 0 : rec.rowBits.back(),
+                        off.c_str(),
                         rec.matches(sys.mapping()) ? "matches truth"
                                                    : "MISMATCH");
         }
@@ -59,7 +67,9 @@ main()
     }
     std::puts("Shape: Comet/Rocket share one (simple) scheme, "
               "Alder/Raptor another with wider functions and the "
-              "low-order (9,11,13)-style function; every recovery "
-              "must match ground truth.");
+              "low-order (9,11,13)-style function, Zen 3 an offset "
+              "non-linear one (normalized functions + region base), "
+              "Cortex-A72 the simple scheme; every recovery must "
+              "match ground truth.");
     return 0;
 }

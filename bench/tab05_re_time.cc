@@ -53,8 +53,10 @@ main()
     unsigned runs = static_cast<unsigned>(
         std::max<std::uint64_t>(2, bench::scaled(5)));
 
-    TextTable table({"tool", "i7-10700K", "i7-11700", "i9-12900",
-                     "i7-14700K"});
+    std::vector<std::string> header = {"tool"};
+    for (Arch arch : allArchs)
+        header.push_back(archCpu(arch));
+    TextTable table(header);
 
     std::vector<std::string> drama_row = {"DRAMA"};
     std::vector<std::string> dramdig_row = {"DRAMDig"};
@@ -130,9 +132,10 @@ main()
                 dare_retry.summary().c_str(),
                 rho_retry.summary().c_str());
     std::puts("\n(*) partially non-deterministic. Shape: rhoHammer "
-              "recovers all platforms in seconds; DRAMDig is ~two "
-              "orders of magnitude slower and aborts on Alder/Raptor; "
-              "DARE is partial on Comet/Rocket and fails on newer "
-              "parts; DRAMA never succeeds.");
+              "recovers all platforms in seconds — including the Zen "
+              "offset-region non-linearity; DRAMDig is ~two orders of "
+              "magnitude slower and aborts on Alder/Raptor; DARE is "
+              "partial on Comet/Rocket and fails on newer parts; DRAMA "
+              "never succeeds.");
     return 0;
 }

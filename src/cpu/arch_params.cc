@@ -125,6 +125,68 @@ raptorLake()
     return p;
 }
 
+ArchParams
+zen3()
+{
+    ArchParams p = base();
+    p.name = "Zen 3";
+    p.isa = Isa::X86;
+    p.lfenceIssueCyc = 2.5;
+    p.freqGhz = 4.9;
+    p.fetchWidth = 6;
+    p.robSize = 256;
+    p.lqSize = 72;
+    p.lfbSize = 12;
+    p.pfQueueSize = 12;
+    p.sbSize = 2048;
+    p.depChainBreakFactor = 0.40;
+    p.mispredictPenaltyCyc = 17.0;
+    p.flushLatencyNs = 30.0;
+    p.loadExtraNs = 44.0;
+    p.loadIssueOccupancyNs = 118.0;
+    p.prefetchIssueOccupancyNs = 14.0;
+    p.flushJitterProb = 0.35;
+    p.flushJitterNs = 220.0;
+    p.nopCyc = 1.0 / p.fetchWidth;
+    return p;
+}
+
+ArchParams
+cortexA72()
+{
+    ArchParams p = base();
+    p.name = "Cortex-A72";
+    p.isa = Isa::Armv8;
+    // DSB with nothing to drain still stalls dispatch a few cycles.
+    p.lfenceIssueCyc = 4.0;
+    p.lfenceCyc = 40.0;
+    p.mfenceCyc = 45.0;
+    p.freqGhz = 1.8;
+    p.fetchWidth = 3;
+    p.robSize = 128;
+    p.lqSize = 32;
+    p.lfbSize = 6;
+    p.pfQueueSize = 8;
+    p.sbSize = 32;
+    p.depChainBreakFactor = 1.0;
+    p.mispredictPenaltyCyc = 15.0;
+    // DC CIVAC + DSB: the clean-and-invalidate round trip is charged
+    // synchronously (flushSynchronous) and jitter-free — there is no
+    // weakly-ordered drain for speculative traffic to delay.
+    p.flushSynchronous = true;
+    p.flushLatencyNs = 60.0;
+    p.loadExtraNs = 60.0;
+    p.loadIssueOccupancyNs = 180.0;
+    // PRFM PLDL1STRM: the A72 prefetch engine is narrower but still
+    // decouples fills from the core's issue window.
+    p.prefetchIssueOccupancyNs = 25.0;
+    p.prefetchExtraNs = 1.0;
+    p.flushJitterProb = 0.0;
+    p.flushJitterNs = 0.0;
+    p.nopCyc = 1.0 / p.fetchWidth;
+    return p;
+}
+
 } // namespace
 
 const ArchParams &
@@ -134,11 +196,15 @@ ArchParams::forArch(Arch arch)
     static const ArchParams rocket = rocketLake();
     static const ArchParams alder = alderLake();
     static const ArchParams raptor = raptorLake();
+    static const ArchParams zen = zen3();
+    static const ArchParams a72 = cortexA72();
     switch (arch) {
       case Arch::CometLake: return comet;
       case Arch::RocketLake: return rocket;
       case Arch::AlderLake: return alder;
       case Arch::RaptorLake: return raptor;
+      case Arch::Zen3: return zen;
+      case Arch::CortexA72: return a72;
     }
     panic("ArchParams::forArch: bad arch");
 }

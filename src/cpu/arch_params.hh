@@ -1,10 +1,13 @@
 /**
  * @file
- * Micro-architectural parameter sets for the four evaluated Intel
- * cores (paper Table 1). Values are representative of public
- * documentation; what matters for the reproduction is the *relative*
- * evolution across generations: wider front-ends, larger windows and
- * more aggressive speculation from Comet Lake to Raptor Lake.
+ * Micro-architectural parameter sets for the evaluated cores: the four
+ * Intel generations of paper Table 1 plus the AMD Zen 3 and ARMv8
+ * Cortex-A72 backends (ROADMAP item 1). Values are representative of
+ * public documentation; what matters for the reproduction is the
+ * *relative* evolution across generations: wider front-ends, larger
+ * windows and more aggressive speculation from Comet Lake to Raptor
+ * Lake, and the Cortex-A72's synchronous DC CIVAC flushes at the other
+ * extreme.
  */
 
 #ifndef RHO_CPU_ARCH_PARAMS_HH
@@ -18,10 +21,23 @@
 namespace rho
 {
 
+/**
+ * Instruction-set surface a core exposes to the hammer kernels. The
+ * kernel op kinds are ISA-neutral (a "flush" is CLFLUSHOPT on x86 and
+ * DC CIVAC on ARMv8); the ISA selects mnemonics and, through the
+ * params below, the ops' ordering semantics and costs.
+ */
+enum class Isa
+{
+    X86,   //!< CLFLUSHOPT / PREFETCHh / LFENCE-MFENCE
+    Armv8, //!< DC CIVAC / PRFM / DSB-DMB
+};
+
 /** Tunable core model parameters. */
 struct ArchParams
 {
     std::string name;
+    Isa isa = Isa::X86;
     double freqGhz;
 
     // Pipeline resources.
@@ -76,6 +92,16 @@ struct ArchParams
     double flushJitterProb;
     Ns flushJitterNs;
 
+    /**
+     * Synchronous flush semantics: ARMv8's DC CIVAC + DSB sequence
+     * completes the clean-and-invalidate before the next instruction
+     * issues, so the core waits for the eviction instead of letting it
+     * drain through the store buffer. x86 CLFLUSHOPT is weakly ordered
+     * (false here); the asynchronous drain is what prefetch-disorder
+     * attacks exploit.
+     */
+    bool flushSynchronous = false;
+
     // Instruction costs (cycles).
     double nopCyc;        //!< effective dispatch cost of one NOP
     double aluCyc;
@@ -91,7 +117,7 @@ struct ArchParams
     double mfenceCyc;
     double cpuidCyc;
 
-    /** Preset for one of the four paper machines. */
+    /** Preset for one of the modelled machines (see RHO_ARCH_LIST). */
     static const ArchParams &forArch(Arch arch);
 };
 

@@ -1,6 +1,7 @@
 #include "cpu/kernel.hh"
 
 #include "common/logging.hh"
+#include "cpu/arch_params.hh"
 
 namespace rho
 {
@@ -63,6 +64,29 @@ opKindName(OpKind kind)
       case OpKind::AluDep: return "alu";
     }
     panic("opKindName: bad kind");
+}
+
+std::string
+opKindMnemonic(OpKind kind, Isa isa)
+{
+    if (isa == Isa::X86)
+        return opKindName(kind);
+    switch (kind) {
+      case OpKind::Load: return "ldr";
+      case OpKind::PrefetchT0: return "prfm pldl1keep";
+      case OpKind::PrefetchT1: return "prfm pldl2keep";
+      case OpKind::PrefetchT2: return "prfm pldl3keep";
+      case OpKind::PrefetchNta: return "prfm pldl1strm";
+      case OpKind::ClFlushOpt: return "dc civac";
+      case OpKind::NopRun: return "nop";
+      case OpKind::Lfence: return "dsb ld";
+      case OpKind::Mfence: return "dsb sy";
+      case OpKind::Cpuid: return "mrs midr_el1";
+      case OpKind::BranchObf: return "b.obf";
+      case OpKind::BranchLoop: return "b.loop";
+      case OpKind::AluDep: return "eor";
+    }
+    panic("opKindMnemonic: bad kind");
 }
 
 } // namespace rho

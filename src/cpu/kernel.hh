@@ -111,6 +111,16 @@ class HammerKernel
 /** Display name for an op kind ("load", "prefetchnta", ...). */
 std::string opKindName(OpKind kind);
 
+enum class Isa; // cpu/arch_params.hh
+
+/**
+ * ISA-specific mnemonic for an op kind: the kernel op kinds are
+ * ISA-neutral, and the same kernel assembles to CLFLUSHOPT/PREFETCHh/
+ * LFENCE on x86 or DC CIVAC/PRFM/DSB on ARMv8 (used by kernel dumps
+ * and the backend documentation tables).
+ */
+std::string opKindMnemonic(OpKind kind, Isa isa);
+
 } // namespace rho
 
 #endif // RHO_CPU_KERNEL_HH

@@ -217,6 +217,7 @@ SimCpu::replayBlocked(MemoryBackend &mem)
     const Ns l1_hit_delta = plan.l1HitDelta;
     const Ns rob_issue_delta = plan.robIssueDelta;
     const bool jitter_gated = plan.flushJitterGated;
+    const bool flush_sync = arch.flushSynchronous;
     const Ns flush_lat_base = arch.flushLatencyNs;
     const double jitter_prob = arch.flushJitterProb;
     const Ns jitter_add = arch.flushJitterNs;
@@ -349,6 +350,10 @@ SimCpu::replayBlocked(MemoryBackend &mem)
                         sbRing.popFront();
                     }
                     sbRing.pushBack(done);
+                    // Synchronous flush ISAs (DC CIVAC + DSB): dispatch
+                    // resumes only once the line is clean.
+                    if (flush_sync)
+                        now = std::max(now, done);
                 }
                 if (robRing.size() >= arch.robSize) {
                     lastRobRetire = std::max(lastRobRetire, robRing.front());
@@ -604,6 +609,10 @@ SimCpu::execOp(const Op &op, const HammerKernel &kernel, MemoryBackend &mem,
                 storeBuffer.pop_front();
             }
             storeBuffer.push_back(done);
+            // Synchronous flush ISAs (DC CIVAC + DSB): dispatch
+            // resumes only once the line is clean.
+            if (arch.flushSynchronous)
+                now = std::max(now, done);
         }
         robPush(issue + cyc(1.0));
         lastMemIssue = std::max(lastMemIssue, issue);

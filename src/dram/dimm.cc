@@ -20,7 +20,9 @@ Dimm::Dimm(const DimmProfile &profile, const DramTiming &timing,
       bankOpenRow(profile.geom.flatBanks(), -1),
       bankReadyAt(profile.geom.flatBanks(), 0.0),
       bankLastActAt(profile.geom.flatBanks(), -1e18),
-      bankRows(profile.geom.flatBanks()), nextTrrTick(timing.tREFI)
+      bankRefSeen(profile.geom.flatBanks(), 0.0),
+      bankRows(profile.geom.flatBanks()), nextTrrTick(timing.tREFI),
+      halfDoubleWeight(profile.halfDoubleWeight)
 {
 }
 
@@ -34,6 +36,7 @@ Dimm::reset()
     std::fill(bankOpenRow.begin(), bankOpenRow.end(), -1);
     std::fill(bankReadyAt.begin(), bankReadyAt.end(), 0.0);
     std::fill(bankLastActAt.begin(), bankLastActAt.end(), -1e18);
+    std::fill(bankRefSeen.begin(), bankRefSeen.end(), 0.0);
     acts = 0;
     nextTrrTick = tim.tREFI;
     pendingStall = 0.0;
@@ -315,15 +318,43 @@ void
 Dimm::refreshNeighbours(std::uint32_t bank, std::uint64_t row, Ns now,
                         ResetSource source)
 {
-    for (int d = -2; d <= 2; ++d) {
+    const int radius = static_cast<int>(prof.refreshRadius);
+    const std::int64_t rows_per_bank =
+        static_cast<std::int64_t>(prof.geom.rowsPerBank);
+    for (int d = -radius; d <= radius; ++d) {
         if (d == 0)
             continue;
         std::int64_t v = static_cast<std::int64_t>(row) + d;
-        if (v < 0 || v >= static_cast<std::int64_t>(prof.geom.rowsPerBank))
+        if (v < 0 || v >= rows_per_bank)
             continue;
         RowState &rs = rowState(bank, static_cast<std::uint64_t>(v), now);
         resetDisturb(rs, bank, static_cast<std::uint64_t>(v), now, source);
         rs.lastRefresh = now;
+    }
+
+    // Half-Double: each victim refresh above is itself an activation,
+    // and on parts with measurable distance-2 coupling it disturbs its
+    // *own* distance-1 neighbourhood. With the narrow LPDDR4-style
+    // sweep (radius 1) the refreshes of r+-1 therefore hammer r+-2 —
+    // rows the sweep did NOT reset — turning the mitigation into the
+    // attack vector. The sweep completes first (matching the command
+    // order of a real per-row refresh train), then the disturbances
+    // land.
+    if (prof.refreshDisturbWeight <= 0.0)
+        return;
+    for (int d = -radius; d <= radius; ++d) {
+        if (d == 0)
+            continue;
+        std::int64_t v = static_cast<std::int64_t>(row) + d;
+        if (v < 0 || v >= rows_per_bank)
+            continue;
+        for (int e = -1; e <= 1; e += 2) {
+            std::int64_t u = v + e;
+            if (u < 0 || u >= rows_per_bank)
+                continue;
+            disturbNeighbour(bank, static_cast<std::uint64_t>(u),
+                             prof.refreshDisturbWeight, now);
+        }
     }
 }
 
@@ -502,6 +533,32 @@ Dimm::access(const DramAddr &da, Ns now)
               static_cast<unsigned long long>(da.row));
 
     Ns start = std::max(now, bankReadyAt[da.bank]);
+
+    // REF blocking (DramTiming::refBlocking platforms): a periodic
+    // all-bank REF fires every tREFI. It closes the open row, and an
+    // access landing inside the tRFC service window stalls to its end
+    // — the latency spike hammer/ref_sync locks onto. Accounted lazily
+    // per bank: only the most recent boundary matters, because the
+    // row-closure and the stall are both idempotent per window.
+    if (tim.refBlocking) {
+        Ns boundary = std::floor(start / tim.tREFI) * tim.tREFI;
+        if (boundary > 0.0) {
+            if (boundary > bankRefSeen[da.bank]) {
+                bankRefSeen[da.bank] = boundary;
+                if (bankOpenRow[da.bank] >= 0) {
+                    RHO_TRACE(tracer, boundary, EventKind::DramPre, 1,
+                              da.bank,
+                              static_cast<std::uint64_t>(
+                                  bankOpenRow[da.bank]),
+                              0);
+                    bankOpenRow[da.bank] = -1;
+                }
+            }
+            if (start - boundary < tim.tRFC)
+                start = boundary + tim.tRFC;
+        }
+    }
+
     DramAccessResult res{};
 
     if (bankOpenRow[da.bank] == static_cast<std::int64_t>(da.row)) {

@@ -312,6 +312,14 @@ class Dimm
     std::vector<std::int64_t> bankOpenRow; //!< open row, -1 = closed
     std::vector<Ns> bankReadyAt;           //!< bank busy until
     std::vector<Ns> bankLastActAt;         //!< last ACT (tRC spacing)
+    /**
+     * Last periodic-REF boundary this bank has accounted for (REF
+     * blocking platforms only, see DramTiming::refBlocking): the
+     * boundary closes the open row, and an access landing inside the
+     * following tRFC window stalls to its end. Lazily advanced per
+     * access so idle banks cost nothing.
+     */
+    std::vector<Ns> bankRefSeen;
     RowStoreKind store = RowStoreKind::Flat;
     std::vector<BankRows> bankRows;             //!< Flat storage
     std::unordered_map<std::uint64_t, RowState> rows; //!< Reference
@@ -331,6 +339,10 @@ class Dimm
     Ns pendingStall = 0.0;
     Ns rfmStalls = 0.0;
     Ns aboStalls = 0.0;
+    /**
+     * Distance-2 coupling weight, copied out of the profile at
+     * construction (the doAct hot loop reads it per neighbour).
+     */
     double halfDoubleWeight = 0.08;
     FaultInjector *injector = nullptr;
     Tracer *tracer = nullptr;

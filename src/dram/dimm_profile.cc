@@ -103,6 +103,25 @@ DimmProfile::ddr5Sample()
     return d1;
 }
 
+const DimmProfile &
+DimmProfile::lpddr4Sample()
+{
+    static const DimmProfile l1 = [] {
+        DimmProfile p = profile("L1", "W20-2022", 3200, 1, 1ULL << 16,
+                                1.80, 9.5e3, 0.60, 3000, 0x51f00dd4);
+        p.standard = MemStandard::Lpddr4;
+        // Half-Double configuration: the victim refresh only covers
+        // r+-1, and each swept-row refresh re-disturbs its own
+        // distance-1 neighbourhood — TRR's refreshes of r+-1 hammer
+        // r+-2.
+        p.refreshRadius = 1;
+        p.refreshDisturbWeight = 0.30;
+        p.halfDoubleWeight = 0.12;
+        return p;
+    }();
+    return l1;
+}
+
 const std::vector<const DimmProfile *> &
 DimmProfile::all()
 {

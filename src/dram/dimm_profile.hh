@@ -52,6 +52,19 @@ struct WeakCell
 };
 
 /**
+ * Which JEDEC standard the device speaks. Auto derives the historical
+ * behaviour from the data rate (>= 4000 MT/s is DDR5, else DDR4) so
+ * the Table 2 profiles stay untouched.
+ */
+enum class MemStandard
+{
+    Auto,
+    Ddr4,
+    Ddr5,
+    Lpddr4,
+};
+
+/**
  * Static description of one DIMM: identity, geometry, and the
  * statistical weak-cell field parameters.
  */
@@ -61,6 +74,7 @@ class DimmProfile
     std::string id;             //!< e.g. "S1"
     std::string productionDate; //!< e.g. "W35-2023"
     unsigned freqMts;           //!< rated data rate
+    MemStandard standard = MemStandard::Auto;
     DimmGeometry geom;
     std::uint64_t seed;         //!< weak-cell field seed
 
@@ -70,6 +84,18 @@ class DimmProfile
     double hcLogMean;           //!< ln-space threshold location
     double hcLogSigma;          //!< ln-space threshold spread
     std::uint32_t hcMin;        //!< lower clamp on thresholds
+
+    // First-order disturbance couplings ("Revisiting RowHammer" /
+    // Half-Double). An ACT on row r disturbs r+-1 with weight 1 and
+    // r+-2 with weight halfDoubleWeight; a victim refresh sweep
+    // covers +-refreshRadius rows, and when refreshDisturbWeight > 0
+    // each swept-row refresh acts as an activation disturbing *its*
+    // distance-2 neighbourhood — the Half-Double lever: TRR's own
+    // refreshes of r+-1 hammer r+-2 (and r itself is re-disturbed
+    // from both sides).
+    double halfDoubleWeight = 0.08;
+    double refreshDisturbWeight = 0.0;
+    unsigned refreshRadius = 2;
 
     /**
      * Deterministically materialize the weak cells of a row.
@@ -90,6 +116,14 @@ class DimmProfile
      * cells present but protected by RFM at the device level.
      */
     static const DimmProfile &ddr5Sample();
+
+    /**
+     * An LPDDR4 mobile part for the ARMv8 backend (not part of
+     * Table 2): 8 GiB single-rank LPDDR4-3200 with a radius-1 victim
+     * refresh whose sweeps themselves disturb — the Half-Double
+     * configuration (refreshRadius 1, refreshDisturbWeight > 0).
+     */
+    static const DimmProfile &lpddr4Sample();
 };
 
 } // namespace rho

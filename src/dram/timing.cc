@@ -62,4 +62,37 @@ DramTiming::ddr5(unsigned mtps)
     return t;
 }
 
+DramTiming
+DramTiming::lpddr4(unsigned mtps)
+{
+    DramTiming t{};
+    t.tCK = 2000.0 / static_cast<double>(mtps);
+    switch (mtps) {
+      case 2400:
+        t.tRCD = 18.00; t.tRP = 21.00; t.tCL = 16.66;
+        break;
+      case 3200:
+        t.tRCD = 18.00; t.tRP = 21.00; t.tCL = 17.10;
+        break;
+      case 4266:
+        t.tRCD = 18.00; t.tRP = 21.00; t.tCL = 17.34;
+        break;
+      default:
+        fatal("DramTiming::lpddr4: unsupported data rate %u", mtps);
+    }
+    t.tRAS = 42.0;
+    t.tRC = t.tRAS + t.tRP;
+    // Per-bank refresh: half the interval of DDR4's all-bank REF, but
+    // a much shorter blocking window per command.
+    t.tRFC = 180.0;
+    t.tREFI = 3904.0;
+    t.tRFM = 180.0;
+    // Mobile SoC fabrics add interconnect latency the big-core
+    // uncore hides.
+    t.busOverhead = 40.0;
+    // LPDDR4 controllers are shallow: REF stalls reach the core.
+    t.refBlocking = true;
+    return t;
+}
+
 } // namespace rho

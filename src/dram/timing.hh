@@ -45,6 +45,17 @@ struct DramTiming
      */
     Ns tABO = 180.0;
 
+    /**
+     * Does the controller expose REF blocking to the core? When true,
+     * an access landing inside the tRFC window after a periodic REF
+     * (every tREFI) stalls until the window ends and finds its row
+     * buffer closed — the latency-spike side channel ZenHammer's
+     * synchronized hammering locks onto (see hammer/ref_sync). Intel
+     * configurations hide the spikes behind controller queueing
+     * (false); AMD and LPDDR4 platforms expose them.
+     */
+    bool refBlocking = false;
+
     /** Number of refresh commands per retention window. */
     static constexpr unsigned refreshSlots = 1024;
 
@@ -59,6 +70,13 @@ struct DramTiming
      * refresh rate, 4800/5600 MT/s grades.
      */
     static DramTiming ddr5(unsigned mtps);
+
+    /**
+     * LPDDR4 preset (ARMv8 board backends): slower analog latencies,
+     * per-bank-pair refresh cadence approximated by a doubled REF rate
+     * with a shorter blocking window, REF blocking exposed.
+     */
+    static DramTiming lpddr4(unsigned mtps);
 };
 
 } // namespace rho

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/logging.hh"
+#include "hammer/ref_sync.hh"
 
 namespace rho
 {
@@ -158,12 +159,27 @@ HammerSession::randomLocation(const HammerPattern &pattern,
     return loc;
 }
 
+void
+HammerSession::maybeAlignToRef(const HammerConfig &cfg)
+{
+    if (!cfg.refSync)
+        return;
+    RefSyncDetector det(sys);
+    RefSyncEstimate est = det.detect();
+    if (est.detected)
+        RefSyncDetector::align(sys, est);
+}
+
 HammerOutcome
 HammerSession::hammerRaw(const HammerPattern &pattern,
                          const HammerLocation &loc,
                          const HammerConfig &cfg)
 {
     Dimm &dimm = sys.dimm();
+    // Align before the flip log is cleared: the detector's probe
+    // train activates rows of its own, and any disturbance it causes
+    // must not be attributed to the kernel.
+    maybeAlignToRef(cfg);
     HammerKernel kernel = buildKernel(pattern, loc, cfg);
 
     // The session's core is constructed before any tracer is attached
@@ -194,6 +210,10 @@ HammerSession::hammer(const HammerPattern &pattern,
                       const HammerLocation &loc, const HammerConfig &cfg)
 {
     Dimm &dimm = sys.dimm();
+    // Align first: the probe train disturbs rows near its conflict
+    // pair, and fills planted afterwards give diffRow a clean
+    // baseline.
+    maybeAlignToRef(cfg);
     auto victims = victimRows(pattern, loc, cfg);
     auto aggs = aggressorRows(pattern, loc, cfg);
 

@@ -51,6 +51,15 @@ struct HammerConfig
     std::uint8_t victimFill = 0x55;
     std::uint8_t aggrFill = 0xAA;
 
+    /**
+     * Synchronize with the refresh window before hammering
+     * (hammer/ref_sync): detect the REF period from the latency-spike
+     * side channel and start the kernel just after a boundary. Only
+     * useful on refBlocking platforms (Zen, LPDDR4); a no-op
+     * elsewhere because no spikes are detectable.
+     */
+    bool refSync = false;
+
     /** Baseline (load) vs rhoHammer (prefetch) shorthand. */
     bool isPrefetch() const { return instr != HammerInstr::Load; }
 };
@@ -114,6 +123,9 @@ class HammerSession
                   const HammerConfig &cfg) const;
 
     std::uint32_t bankAt(const HammerLocation &loc, unsigned idx) const;
+
+    /** Run REF-window detection + alignment when cfg.refSync is set. */
+    void maybeAlignToRef(const HammerConfig &cfg);
 
     MemorySystem &sys;
     SimCpu core;

@@ -1,0 +1,107 @@
+#include "hammer/ref_sync.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/stats.hh"
+#include "memsys/memory_system.hh"
+
+namespace rho
+{
+
+namespace
+{
+
+double
+medianOf(std::vector<double> v)
+{
+    if (v.empty())
+        return 0.0;
+    std::sort(v.begin(), v.end());
+    std::size_t n = v.size();
+    return n % 2 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+} // namespace
+
+Ns
+RefSyncEstimate::nextSafeStart(Ns now) const
+{
+    if (!detected || period <= 0.0)
+        return now;
+    // Next boundary strictly after `now`, then past the blocked
+    // window plus a small guard for estimate error.
+    double k = std::ceil((now - lastBoundary) / period);
+    if (k < 1.0)
+        k = 1.0;
+    return lastBoundary + k * period + blockNs + 0.02 * period;
+}
+
+RefSyncEstimate
+RefSyncDetector::detect(unsigned probes)
+{
+    RefSyncEstimate est;
+    const AddressMapping &map = sys.mapping();
+
+    // Two same-bank rows far enough apart to never share a buffer:
+    // every access is a row conflict, so the latency baseline is flat
+    // and a REF stall stands out by hundreds of ns.
+    PhysAddr a = map.rowToPhys(0, 64);
+    PhysAddr b = map.rowToPhys(0, 96);
+
+    std::vector<double> lats(probes);
+    std::vector<Ns> stamps(probes);
+    for (unsigned i = 0; i < probes; ++i) {
+        PhysAddr pa = (i & 1) ? b : a;
+        stamps[i] = sys.now();
+        Ns lat = sys.dramAccess(pa, sys.now());
+        lats[i] = lat;
+        sys.advance(lat);
+    }
+
+    double med = medianOf(lats);
+    std::vector<double> dev(probes);
+    for (unsigned i = 0; i < probes; ++i)
+        dev[i] = std::abs(lats[i] - med);
+    double mad = medianOf(dev);
+    // Row-conflict jitter is a few ns; a REF stall is ~tRFC. The gate
+    // keeps a generous floor so a perfectly flat train (mad == 0 on
+    // non-blocking platforms) does not divide by zero into noise.
+    double gate = med + std::max(8.0 * mad, 40.0);
+
+    std::vector<Ns> spike_times;
+    for (unsigned i = 0; i < probes; ++i) {
+        if (lats[i] > gate) {
+            spike_times.push_back(stamps[i]);
+            est.blockNs = std::max(est.blockNs, lats[i] - med);
+        }
+    }
+    est.spikes = static_cast<unsigned>(spike_times.size());
+    if (spike_times.size() < 3)
+        return est;
+
+    std::vector<double> gaps;
+    for (std::size_t i = 1; i < spike_times.size(); ++i)
+        gaps.push_back(spike_times[i] - spike_times[i - 1]);
+    double period = medianOf(gaps);
+    if (period < 500.0 || period > 1e6)
+        return est; // not a refresh cadence
+
+    est.detected = true;
+    est.period = period;
+    est.lastBoundary = spike_times.back();
+    return est;
+}
+
+void
+RefSyncDetector::align(MemorySystem &sys, const RefSyncEstimate &est)
+{
+    if (!est.detected)
+        return;
+    Ns target = est.nextSafeStart(sys.now());
+    if (target > sys.now())
+        sys.advance(target - sys.now());
+}
+
+} // namespace rho

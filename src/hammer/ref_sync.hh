@@ -1,0 +1,75 @@
+/**
+ * @file
+ * ZenHammer-style REF synchronization: on platforms whose memory
+ * controller exposes REF blocking (DramTiming::refBlocking — AMD Zen,
+ * LPDDR4 boards), an access that lands inside the tRFC refresh window
+ * stalls until the window ends. Those periodic latency spikes leak the
+ * refresh cadence; a synchronized hammer aligns its burst to start
+ * right after a REF so the full tREFI interval is spike-free and the
+ * in-flight aggressor train is never split by a refresh (which would
+ * hand TRR a free sampling opportunity mid-pattern).
+ *
+ * The detector issues a train of same-bank row-conflict accesses,
+ * flags spikes by a median + k*MAD gate, and estimates the period and
+ * phase from the spike timestamps. Everything is driven by the
+ * simulated clock only, so detection is deterministic for a given
+ * MemorySystem state regardless of host threading (--jobs).
+ */
+
+#ifndef RHO_HAMMER_REF_SYNC_HH
+#define RHO_HAMMER_REF_SYNC_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace rho
+{
+
+class MemorySystem;
+
+/** Result of one REF-cadence detection train. */
+struct RefSyncEstimate
+{
+    bool detected = false;
+    Ns period = 0.0;       //!< estimated tREFI
+    Ns lastBoundary = 0.0; //!< sim time of the last observed spike
+    Ns blockNs = 0.0;      //!< largest observed blocking excess (~tRFC)
+    unsigned spikes = 0;   //!< spikes the train observed
+
+    /** First spike-free burst start strictly after `now`. */
+    Ns nextSafeStart(Ns now) const;
+};
+
+/**
+ * Detect the REF cadence of a MemorySystem by timing a row-conflict
+ * access train. On platforms without REF blocking the train sees no
+ * spikes and the estimate comes back undetected (callers fall through
+ * to unsynchronized hammering).
+ */
+class RefSyncDetector
+{
+  public:
+    explicit RefSyncDetector(MemorySystem &sys) : sys(sys) {}
+
+    /**
+     * Run the detection train.
+     * @param probes number of timed accesses; the default covers
+     *        several tREFI at typical row-conflict latencies.
+     */
+    RefSyncEstimate detect(unsigned probes = 768);
+
+    /**
+     * Advance the system clock to the next spike-free window start
+     * (boundary + observed block time + a small guard). No-op when the
+     * estimate is undetected.
+     */
+    static void align(MemorySystem &sys, const RefSyncEstimate &est);
+
+  private:
+    MemorySystem &sys;
+};
+
+} // namespace rho
+
+#endif // RHO_HAMMER_REF_SYNC_HH

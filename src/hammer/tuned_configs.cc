@@ -13,6 +13,10 @@ tunedNopCount(Arch arch)
       case Arch::RocketLake: return 500;
       case Arch::AlderLake: return 800;
       case Arch::RaptorLake: return 800;
+      // Zen 3 prefetches retire quickly; a Comet-class pause suffices.
+      case Arch::Zen3: return 500;
+      // Cortex-A72 runs at 1.8 GHz: fewer nops cover the same ns.
+      case Arch::CortexA72: return 200;
     }
     panic("tunedNopCount: bad arch");
 }
@@ -25,6 +29,9 @@ tunedBankCount(Arch arch)
       case Arch::RocketLake: return 3;
       case Arch::AlderLake: return 2;
       case Arch::RaptorLake: return 2;
+      case Arch::Zen3: return 3;
+      // The A72's shallow load queue saturates past two banks.
+      case Arch::CortexA72: return 2;
     }
     panic("tunedBankCount: bad arch");
 }

@@ -1,10 +1,7 @@
 #include "mapping/address_mapping.hh"
 
-#include <algorithm>
-
-#include "common/bits.hh"
+#include "common/gf2.hh"
 #include "common/logging.hh"
-#include "common/table.hh"
 
 namespace rho
 {
@@ -13,103 +10,41 @@ AddressMapping::AddressMapping(unsigned phys_bits,
                                std::vector<std::uint64_t> bank_fn_masks,
                                std::vector<unsigned> row_bits,
                                std::vector<unsigned> col_bits)
-    : nPhysBits(phys_bits), bankFns(std::move(bank_fn_masks)),
-      rowBits(std::move(row_bits)), colBits(std::move(col_bits))
+    : fam(std::make_shared<LinearGf2Family>(
+          phys_bits, std::move(bank_fn_masks), std::move(row_bits),
+          std::move(col_bits)))
 {
-    if (phys_bits > 63)
-        fatal("AddressMapping: phys_bits %u too large", phys_bits);
-    std::sort(rowBits.begin(), rowBits.end());
-    std::sort(colBits.begin(), colBits.end());
-
-    unsigned total = bankFns.size() + rowBits.size() + colBits.size();
-    if (total != nPhysBits) {
-        fatal("AddressMapping: %zu bank fns + %zu row + %zu col bits "
-              "!= %u phys bits",
-              bankFns.size(), rowBits.size(), colBits.size(), nPhysBits);
-    }
-
-    // Build the linear system once: rows ordered bank fns, row bits,
-    // col bits; encode() solves it for arbitrary right-hand sides.
-    Gf2Matrix m(nPhysBits);
-    for (std::uint64_t fn : bankFns)
-        m.addRow(fn);
-    for (unsigned b : rowBits)
-        m.addRow(1ULL << b);
-    for (unsigned b : colBits)
-        m.addRow(1ULL << b);
-    solver = std::make_shared<Gf2Solver>(m);
-    bijective = solver->fullRank();
 }
 
-DramAddr
-AddressMapping::decode(PhysAddr pa) const
+AddressMapping::AddressMapping(std::shared_ptr<const MappingFamily> family)
+    : fam(std::move(family))
 {
-    DramAddr da;
-    for (std::size_t i = 0; i < bankFns.size(); ++i)
-        da.bank |= static_cast<std::uint32_t>(parity(pa, bankFns[i])) << i;
-    for (std::size_t i = 0; i < rowBits.size(); ++i)
-        da.row |= bit(pa, rowBits[i]) << i;
-    for (std::size_t i = 0; i < colBits.size(); ++i)
-        da.col |= bit(pa, colBits[i]) << i;
-    return da;
-}
-
-PhysAddr
-AddressMapping::encode(const DramAddr &da) const
-{
-    std::uint64_t rhs = 0;
-    unsigned pos = 0;
-    for (std::size_t i = 0; i < bankFns.size(); ++i, ++pos)
-        rhs |= bit(da.bank, i) << pos;
-    for (std::size_t i = 0; i < rowBits.size(); ++i, ++pos)
-        rhs |= bit(da.row, i) << pos;
-    for (std::size_t i = 0; i < colBits.size(); ++i, ++pos)
-        rhs |= bit(da.col, i) << pos;
-
-    auto sol = solver->solve(rhs);
-    if (!sol)
-        panic("AddressMapping::encode: unsolvable (mapping not bijective)");
-    return *sol;
-}
-
-std::string
-AddressMapping::describe() const
-{
-    std::string out = "Bank Func:";
-    for (std::size_t i = 0; i < bankFns.size(); ++i) {
-        out += i ? ", (" : " (";
-        auto bits = bitsOfMask(bankFns[i]);
-        for (std::size_t j = 0; j < bits.size(); ++j) {
-            if (j)
-                out += ", ";
-            out += std::to_string(bits[j]);
-        }
-        out += ")";
-    }
-    if (!rowBits.empty()) {
-        out += strFormat("; Row: %u-%u", rowBits.front(), rowBits.back());
-    }
-    return out;
+    if (!fam)
+        panic("AddressMapping: null family");
 }
 
 bool
 AddressMapping::sameBankAndRowStructure(const AddressMapping &o) const
 {
-    if (nPhysBits != o.nPhysBits || bankFns.size() != o.bankFns.size())
+    if (fam->kind() != o.fam->kind()
+        || fam->regionOffset() != o.fam->regionOffset())
         return false;
-    if (rowBits != o.rowBits)
+    if (fam->physBits() != o.fam->physBits()
+        || fam->numBankFns() != o.fam->numBankFns())
+        return false;
+    if (fam->rowBitPositions() != o.fam->rowBitPositions())
         return false;
 
     // Bank functions may be recovered in any order / basis; the bank
     // partition is identical iff the GF(2) spans are equal, which for
     // equal sizes reduces to mutual containment of one span.
-    Gf2Matrix mine(nPhysBits);
-    for (auto fn : bankFns)
+    Gf2Matrix mine(fam->physBits());
+    for (auto fn : fam->bankFnMasks())
         mine.addRow(fn);
     unsigned base_rank = mine.rank();
-    for (auto fn : o.bankFns) {
-        Gf2Matrix ext(nPhysBits);
-        for (auto f2 : bankFns)
+    for (auto fn : o.fam->bankFnMasks()) {
+        Gf2Matrix ext(fam->physBits());
+        for (auto f2 : fam->bankFnMasks())
             ext.addRow(f2);
         ext.addRow(fn);
         if (ext.rank() != base_rank)

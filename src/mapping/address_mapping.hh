@@ -3,12 +3,14 @@
  * Physical-address to DRAM-address mapping.
  *
  * Modern memory controllers translate physical addresses into
- * (bank, row, column) coordinates with a linear map over GF(2):
- * each bank bit is the XOR of a set of physical address bits (a "bank
- * function"), and row/column indices are gathered from (possibly
- * shared) physical bits. This module models such mappings exactly,
- * including decode (phys -> dram) and encode (dram -> phys, via linear
- * solving), which the attack layers use to place aggressors.
+ * (bank, row, column) coordinates. All modelled controllers share a
+ * linear GF(2) core — each bank bit is the XOR of a set of address
+ * bits (a "bank function"), row/column indices are gathered bit sets —
+ * but vendors differ in the coordinate space the core consumes (see
+ * mapping/mapping_family.hh). AddressMapping is the copyable value
+ * type the rest of the simulator uses: a thin facade over an immutable
+ * MappingFamily, including decode (phys -> dram) and encode (dram ->
+ * phys), which the attack layers use to place aggressors.
  */
 
 #ifndef RHO_MAPPING_ADDRESS_MAPPING_HH
@@ -18,37 +20,26 @@
 #include <string>
 #include <vector>
 
-#include "common/gf2.hh"
 #include "common/types.hh"
+#include "mapping/mapping_family.hh"
 
 namespace rho
 {
 
-/** Geographic DRAM coordinates. Bank is flat across ranks/groups. */
-struct DramAddr
-{
-    std::uint32_t bank = 0;
-    std::uint64_t row = 0;
-    std::uint64_t col = 0;
-
-    bool
-    operator==(const DramAddr &o) const
-    {
-        return bank == o.bank && row == o.row && col == o.col;
-    }
-};
-
 /**
- * A linear DRAM address mapping.
+ * A DRAM address mapping (copyable handle to an immutable family).
  *
- * Invariants: the union of {bank functions as rows, row bits, column
- * bits} must form a square full-rank GF(2) system so that the mapping
- * is bijective over the covered physical address space.
+ * Invariants: the wrapped family's core must be a square full-rank
+ * GF(2) system so that the mapping is bijective over the covered
+ * physical address space.
  */
 class AddressMapping
 {
   public:
     /**
+     * Build a fully linear (Intel-style) mapping. Kept as the primary
+     * constructor so linear call sites stay family-agnostic.
+     *
      * @param phys_bits total number of physical address bits covered
      *        (memory size = 2^phys_bits bytes).
      * @param bank_fn_masks one mask per bank bit; mask bit j selects
@@ -62,34 +53,49 @@ class AddressMapping
                    std::vector<unsigned> row_bits,
                    std::vector<unsigned> col_bits);
 
-    unsigned physBits() const { return nPhysBits; }
-    std::uint64_t memBytes() const { return 1ULL << nPhysBits; }
-    unsigned numBankFns() const { return bankFns.size(); }
-    std::uint32_t numBanks() const { return 1u << bankFns.size(); }
-    std::uint64_t numRows() const { return 1ULL << rowBits.size(); }
-    std::uint64_t numCols() const { return 1ULL << colBits.size(); }
+    /** Wrap an explicitly constructed family (any kind). */
+    explicit AddressMapping(std::shared_ptr<const MappingFamily> family);
 
+    unsigned physBits() const { return fam->physBits(); }
+    std::uint64_t memBytes() const { return fam->memBytes(); }
+    unsigned numBankFns() const { return fam->numBankFns(); }
+    std::uint32_t numBanks() const { return fam->numBanks(); }
+    std::uint64_t numRows() const { return fam->numRows(); }
+    std::uint64_t numCols() const { return fam->numCols(); }
+
+    // Normalized-space structure (for LinearGf2 families the
+    // normalized space IS the physical space).
     const std::vector<std::uint64_t> &bankFnMasks() const
     {
-        return bankFns;
+        return fam->bankFnMasks();
     }
     const std::vector<unsigned> &rowBitPositions() const
     {
-        return rowBits;
+        return fam->rowBitPositions();
     }
     const std::vector<unsigned> &colBitPositions() const
     {
-        return colBits;
+        return fam->colBitPositions();
     }
 
+    /** The wrapped transform family. */
+    const MappingFamily &family() const { return *fam; }
+    MappingFamilyKind familyKind() const { return fam->kind(); }
+    /** Region base subtracted before the core (0 for linear). */
+    std::uint64_t regionOffset() const { return fam->regionOffset(); }
+    /** Physical address -> normalized core coordinate. */
+    PhysAddr normalize(PhysAddr pa) const { return fam->normalize(pa); }
+    /** Normalized core coordinate -> physical address. */
+    PhysAddr denormalize(PhysAddr n) const { return fam->denormalize(n); }
+
     /** Translate a physical address into DRAM coordinates. */
-    DramAddr decode(PhysAddr pa) const;
+    DramAddr decode(PhysAddr pa) const { return fam->decode(pa); }
 
     /**
      * Construct the physical address of the given DRAM coordinates.
      * Exact inverse of decode() (mapping is bijective by construction).
      */
-    PhysAddr encode(const DramAddr &da) const;
+    PhysAddr encode(const DramAddr &da) const { return fam->encode(da); }
 
     /** Shorthand: physical address of (bank, row) at column 0. */
     PhysAddr
@@ -99,26 +105,22 @@ class AddressMapping
     }
 
     /** @return true iff decode() is a bijection (full-rank system). */
-    bool isBijective() const { return bijective; }
+    bool isBijective() const { return fam->isBijective(); }
 
     /** Human-readable summary, Table 4 style. */
-    std::string describe() const;
+    std::string describe() const { return fam->describe(); }
 
     /**
      * Structural equality of the *mapping function* (not representation):
-     * two mappings are equivalent if they induce the same bank
-     * partition (same span of bank functions) and the same row
+     * two mappings are equivalent if they apply the same coordinate
+     * transform (kind + region offset) and their cores induce the same
+     * bank partition (same span of bank functions) and the same row
      * classification. Used to validate reverse-engineering results.
      */
     bool sameBankAndRowStructure(const AddressMapping &o) const;
 
   private:
-    unsigned nPhysBits;
-    std::vector<std::uint64_t> bankFns;
-    std::vector<unsigned> rowBits;
-    std::vector<unsigned> colBits;
-    std::shared_ptr<const Gf2Solver> solver; // shared: mapping is copyable
-    bool bijective;
+    std::shared_ptr<const MappingFamily> fam;
 };
 
 } // namespace rho

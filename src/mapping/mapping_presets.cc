@@ -16,6 +16,8 @@ archName(Arch arch)
       case Arch::RocketLake: return "Rocket Lake";
       case Arch::AlderLake: return "Alder Lake";
       case Arch::RaptorLake: return "Raptor Lake";
+      case Arch::Zen3: return "Zen 3";
+      case Arch::CortexA72: return "Cortex-A72";
     }
     panic("archName: bad arch");
 }
@@ -28,6 +30,8 @@ archCpu(Arch arch)
       case Arch::RocketLake: return "i7-11700";
       case Arch::AlderLake: return "i9-12900";
       case Arch::RaptorLake: return "i7-14700K";
+      case Arch::Zen3: return "R9-5950X";
+      case Arch::CortexA72: return "Cortex-A72";
     }
     panic("archCpu: bad arch");
 }
@@ -40,8 +44,26 @@ archMemFreq(Arch arch)
       case Arch::RocketLake: return 2933;
       case Arch::AlderLake: return 3200;
       case Arch::RaptorLake: return 3200;
+      case Arch::Zen3: return 3200;
+      case Arch::CortexA72: return 3200;
     }
     panic("archMemFreq: bad arch");
+}
+
+bool
+archRefBlocking(Arch arch)
+{
+    switch (arch) {
+      case Arch::CometLake:
+      case Arch::RocketLake:
+      case Arch::AlderLake:
+      case Arch::RaptorLake:
+        return false;
+      case Arch::Zen3:
+      case Arch::CortexA72:
+        return true;
+    }
+    panic("archRefBlocking: bad arch");
 }
 
 namespace
@@ -56,19 +78,44 @@ range(unsigned lo, unsigned hi)
     return out;
 }
 
-AddressMapping
-make(unsigned phys_bits,
-     std::vector<std::vector<unsigned>> fns,
-     unsigned row_lo, unsigned row_hi)
+std::vector<std::uint64_t>
+masksOf(const std::vector<std::vector<unsigned>> &fns)
 {
     std::vector<std::uint64_t> masks;
     masks.reserve(fns.size());
     for (const auto &f : fns)
         masks.push_back(maskOfBits(f));
+    return masks;
+}
+
+AddressMapping
+make(unsigned phys_bits,
+     std::vector<std::vector<unsigned>> fns,
+     unsigned row_lo, unsigned row_hi)
+{
     // Column bits are the low 13 bits (8 KiB row across the rank) in
     // all configurations of Table 4.
-    return AddressMapping(phys_bits, std::move(masks),
+    return AddressMapping(phys_bits, masksOf(fns),
                           range(row_lo, row_hi), range(0, 12));
+}
+
+/**
+ * The Zen DRAM region base: the modelled part interleaves its UMC
+ * regions at 3 GiB, so the controller subtracts 0xC0000000 before
+ * hashing. Two set bits — the subtraction's borrow chain is what makes
+ * the end-to-end map non-linear (a single-bit base would reduce to an
+ * XOR).
+ */
+constexpr std::uint64_t zenRegionBase = 0xC0000000ULL;
+
+AddressMapping
+zenMake(unsigned phys_bits,
+        std::vector<std::vector<unsigned>> fns,
+        unsigned row_lo, unsigned row_hi)
+{
+    return AddressMapping(std::make_shared<ZenOffsetFamily>(
+        phys_bits, zenRegionBase, masksOf(fns),
+        range(row_lo, row_hi), range(0, 12)));
 }
 
 } // namespace
@@ -78,6 +125,43 @@ mappingFor(Arch arch, unsigned size_gib, unsigned ranks)
 {
     bool newer = arch == Arch::AlderLake || arch == Arch::RaptorLake;
 
+    // AMD Zen 3: ZenHammer-style interleaved functions — one COL-ish
+    // low function plus stride-4 hashed-bit combs reaching the top
+    // address bit — applied to the region-normalized address.
+    if (arch == Arch::Zen3) {
+        if (size_gib == 8 && ranks == 1) {
+            return zenMake(33,
+                           {{6, 13},
+                            {14, 18, 22, 26, 30},
+                            {15, 19, 23, 27, 31},
+                            {16, 20, 24, 28, 32}},
+                           17, 32);
+        }
+        if (size_gib == 16 && ranks == 2) {
+            return zenMake(34,
+                           {{6, 13},
+                            {14, 18, 22, 26, 30},
+                            {15, 19, 23, 27, 31},
+                            {16, 20, 24, 28, 32},
+                            {17, 21, 25, 29, 33}},
+                           18, 33);
+        }
+        if (size_gib == 32 && ranks == 2) {
+            return zenMake(35,
+                           {{6, 13},
+                            {14, 18, 22, 26, 30, 34},
+                            {15, 19, 23, 27, 31},
+                            {16, 20, 24, 28, 32},
+                            {17, 21, 25, 29, 33}},
+                           18, 34);
+        }
+        fatal("mappingFor: unsupported geometry %u GiB x %u ranks",
+              size_gib, ranks);
+    }
+
+    // Cortex-A72 boards ship the simple linear interleaving scheme
+    // (same shape Comet/Rocket use); Intel Comet/Rocket vs Alder/
+    // Raptor split per paper Table 4.
     if (size_gib == 8 && ranks == 1) {
         if (!newer) {
             return make(33, {{16, 19}, {15, 18}, {14, 17}, {6, 13}},

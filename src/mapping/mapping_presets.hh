@@ -1,7 +1,8 @@
 /**
  * @file
- * Ground-truth DRAM address mappings per architecture (paper Table 4)
- * and the machine inventory (paper Table 1).
+ * Ground-truth DRAM address mappings per architecture (paper Table 4
+ * plus the multi-vendor backends of ROADMAP item 1) and the machine
+ * inventory (paper Table 1).
  */
 
 #ifndef RHO_MAPPING_MAPPING_PRESETS_HH
@@ -16,19 +17,45 @@
 namespace rho
 {
 
-/** The four evaluated Intel micro-architectures (paper Table 1). */
+/**
+ * The architecture registry: the single source of truth for the Arch
+ * enum AND the allArchs iteration array. Adding a backend means adding
+ * one X() line here; every per-arch dispatch switch is compiled with
+ * -Wall (-Wswitch) and no default case, so a missing preset is a
+ * compile warning, and tests/test_backend.cc calls every per-arch
+ * function for every registry entry so a runtime panic cannot hide.
+ *
+ * Order: the four evaluated Intel micro-architectures (paper Table 1)
+ * in generation order, then the non-Intel backends.
+ */
+#define RHO_ARCH_LIST(X)                                                \
+    X(CometLake)  /* Intel i7-10700K, 10th gen                */        \
+    X(RocketLake) /* Intel i7-11700, 11th gen                 */        \
+    X(AlderLake)  /* Intel i9-12900, 12th gen                 */        \
+    X(RaptorLake) /* Intel i7-14700K, 14th gen                */        \
+    X(Zen3)       /* AMD Ryzen 9 5950X, non-linear mapping    */        \
+    X(CortexA72)  /* ARMv8 Cortex-A72 board, DC CIVAC flushes */
+
+/** All modelled micro-architectures (see RHO_ARCH_LIST). */
 enum class Arch
 {
-    CometLake,  // i7-10700K, 10th gen
-    RocketLake, // i7-11700, 11th gen
-    AlderLake,  // i9-12900, 12th gen
-    RaptorLake, // i7-14700K, 14th gen
+#define RHO_ARCH_ENUM_ENTRY(name) name,
+    RHO_ARCH_LIST(RHO_ARCH_ENUM_ENTRY)
+#undef RHO_ARCH_ENUM_ENTRY
 };
 
-/** All architectures, in generation order. */
-constexpr std::array<Arch, 4> allArchs = {
-    Arch::CometLake, Arch::RocketLake, Arch::AlderLake, Arch::RaptorLake
+/** All architectures, derived from the registry — never hand-count. */
+inline constexpr std::array allArchs = {
+#define RHO_ARCH_ARRAY_ENTRY(name) Arch::name,
+    RHO_ARCH_LIST(RHO_ARCH_ARRAY_ENTRY)
+#undef RHO_ARCH_ARRAY_ENTRY
 };
+
+/** Number of registered architectures. */
+inline constexpr std::size_t archCount = allArchs.size();
+
+static_assert(static_cast<std::size_t>(allArchs.back()) + 1 == archCount,
+              "allArchs out of sync with the Arch enum");
 
 /** Short display name, e.g. "Comet Lake". */
 std::string archName(Arch arch);
@@ -40,9 +67,21 @@ std::string archCpu(Arch arch);
 unsigned archMemFreq(Arch arch);
 
 /**
- * Ground-truth mapping for an architecture and DRAM geometry
- * (paper Table 4). Comet/Rocket Lake share one scheme; Alder/Raptor
- * Lake share another with wider, more numerous bank functions.
+ * Does this platform's memory controller expose REF blocking to the
+ * attacker (tRFC-long latency spikes every tREFI that synchronized
+ * hammering can lock onto, ZenHammer style)? Intel parts hide the
+ * spikes behind deep controller queues in the modelled configurations.
+ */
+bool archRefBlocking(Arch arch);
+
+/**
+ * Ground-truth mapping for an architecture and DRAM geometry.
+ * Intel presets follow paper Table 4 (Comet/Rocket Lake share one
+ * linear scheme; Alder/Raptor Lake another with wider, more numerous
+ * bank functions). Zen 3 uses a ZenOffsetFamily: interleaved
+ * XOR-of-hashed-bits functions applied after subtracting a region
+ * base, so the end-to-end map is non-linear. Cortex-A72 boards use the
+ * simple linear interleaving scheme.
  *
  * @param size_gib total DIMM capacity: 8, 16 or 32.
  * @param ranks number of ranks: 1 (8 GiB) or 2 (16/32 GiB).

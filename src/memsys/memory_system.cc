@@ -35,15 +35,35 @@ MemorySystem::MemorySystem(Arch arch, const DimmProfile &dimm,
                            const PracConfig &prac_cfg)
     : archId(arch), params(&ArchParams::forArch(arch))
 {
-    // The platform clamps the DIMM to its supported data rate; DDR5
-    // parts (>= 4000 MT/s rating) use the DDR5 timing preset.
-    bool ddr5 = dimm.freqMts >= 4000;
-    unsigned mts = ddr5 ? dimm.freqMts
-                        : std::min(dimm.freqMts, archMemFreq(arch));
-    mc = std::make_unique<MemoryController>(
-        std::move(mapping), dimm,
-        ddr5 ? DramTiming::ddr5(mts) : DramTiming::ddr4(mts), trr_cfg,
-        rfm_cfg, prac_cfg);
+    // The platform clamps the DIMM to its supported data rate. The
+    // profile's MemStandard picks the timing preset; Auto keeps the
+    // historical rule (>= 4000 MT/s rating means DDR5, else DDR4).
+    MemStandard std_ = dimm.standard;
+    if (std_ == MemStandard::Auto)
+        std_ = dimm.freqMts >= 4000 ? MemStandard::Ddr5 : MemStandard::Ddr4;
+    unsigned mts = std_ == MemStandard::Ddr4
+                       ? std::min(dimm.freqMts, archMemFreq(arch))
+                       : dimm.freqMts;
+    DramTiming timing;
+    switch (std_) {
+      case MemStandard::Ddr4:
+        timing = DramTiming::ddr4(mts);
+        break;
+      case MemStandard::Ddr5:
+        timing = DramTiming::ddr5(mts);
+        break;
+      case MemStandard::Lpddr4:
+        timing = DramTiming::lpddr4(mts);
+        break;
+      case MemStandard::Auto:
+        panic("MemorySystem: unresolved MemStandard::Auto");
+    }
+    // Shallow-controller platforms expose REF stalls to the core even
+    // on DDR4 parts (hammer/ref_sync relies on the spikes).
+    timing.refBlocking = timing.refBlocking || archRefBlocking(arch);
+    mc = std::make_unique<MemoryController>(std::move(mapping), dimm,
+                                            timing, trr_cfg, rfm_cfg,
+                                            prac_cfg);
     (void)seed;
 }
 

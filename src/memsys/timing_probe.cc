@@ -17,19 +17,30 @@ TimingProbe::TimingProbe(MemorySystem &sys_, std::uint64_t seed,
 double
 TimingProbe::measurePair(PhysAddr a, PhysAddr b, unsigned rounds)
 {
-    double total = 0.0;
-    std::uint64_t n = 0;
+    latBuf.clear();
+    Ns fastest = 1e18;
     for (unsigned r = 0; r < rounds; ++r) {
         for (PhysAddr pa : {a, b}) {
             // clflush + access + fence measurement iteration.
             sys.advance(loopOverhead);
             Ns lat = sys.dramAccess(pa, sys.now());
             sys.advance(lat);
+            latBuf.push_back(lat);
+            fastest = std::min(fastest, lat);
+        }
+    }
+    accesses += latBuf.size();
+    // Reject REF-stall spikes (see header); summation order is the
+    // access order, so a spike-free train averages bit-identically to
+    // the plain mean.
+    double total = 0.0;
+    std::uint64_t n = 0;
+    for (Ns lat : latBuf) {
+        if (lat <= fastest + refSpikeCutoffNs) {
             total += lat;
             ++n;
         }
     }
-    accesses += n;
     double avg = total / static_cast<double>(n);
     double sample = avg + rng.normal(0.0, noiseSigma);
     // Environmental interference (co-running workloads) on top of the

@@ -50,8 +50,19 @@ class TimingProbe
     /**
      * Average per-access latency (ns) of alternately accessing a and
      * b, each address accessed `rounds` times, flushed in between.
+     *
+     * Accesses slower than the train's fastest by more than
+     * refSpikeCutoffNs are excluded from the average: on platforms
+     * with exposed REF blocking a few accesses per train absorb a
+     * tRFC-sized refresh stall, and attackers discard those
+     * REF-crossing rounds. Both latency modes of the side channel sit
+     * within ~30 ns of each other, so the cutoff never fires on
+     * spike-free platforms and the mean is exactly the historical one.
      */
     double measurePair(PhysAddr a, PhysAddr b, unsigned rounds = 50);
+
+    /** Spike-rejection window above the fastest access of a train. */
+    static constexpr Ns refSpikeCutoffNs = 100.0;
 
     /**
      * Outlier-resilient pair measurement: splits `rounds` across
@@ -77,6 +88,7 @@ class TimingProbe
     Ns noiseSigma;
     Ns loopOverhead;
     std::uint64_t accesses = 0;
+    std::vector<Ns> latBuf; //!< per-train scratch (avoids realloc)
 };
 
 } // namespace rho

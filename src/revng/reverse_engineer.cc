@@ -43,6 +43,8 @@ MappingRecovery::matches(const AddressMapping &truth) const
 {
     if (!success)
         return false;
+    if (regionOffset != truth.regionOffset())
+        return false;
     if (rowBits != truth.rowBitPositions())
         return false;
     return sameFnSpan(bankFns, truth.bankFnMasks(), truth.physBits());
@@ -56,6 +58,30 @@ RhoReverseEngineer::RhoReverseEngineer(TimingProbe &probe_,
 {
 }
 
+std::optional<PhysAddr>
+RhoReverseEngineer::pairBaseAt(std::uint64_t diff_mask, PhysAddr &partner)
+{
+    if (offset == 0) {
+        auto base = pool.pairBase(rng, diff_mask);
+        if (!base)
+            return std::nullopt;
+        partner = *base ^ diff_mask;
+        return base;
+    }
+    // Non-linear probing: the partner differs by diff_mask in the
+    // region-normalized space, which is an addition-mangled (not XOR)
+    // physical difference. Same acceptance loop as PhysPool::pairBase.
+    for (unsigned i = 0; i < 4096; ++i) {
+        PhysAddr a = pool.randomAddr(rng);
+        PhysAddr b = denormalize(normalize(a) ^ diff_mask);
+        if (pool.contains(b)) {
+            partner = b;
+            return a;
+        }
+    }
+    return std::nullopt;
+}
+
 double
 RhoReverseEngineer::tSbdr(std::uint64_t diff_mask)
 {
@@ -63,11 +89,12 @@ RhoReverseEngineer::tSbdr(std::uint64_t diff_mask)
         std::vector<double> samples;
         samples.reserve(cfg.pairsPerMeasurement);
         for (unsigned i = 0; i < cfg.pairsPerMeasurement; ++i) {
-            auto base = pool.pairBase(rng, diff_mask);
+            PhysAddr partner = 0;
+            auto base = pairBaseAt(diff_mask, partner);
             if (!base)
                 continue;
-            samples.push_back(probe.measurePair(
-                *base, *base ^ diff_mask, cfg.roundsPerPair));
+            samples.push_back(probe.measurePair(*base, partner,
+                                                cfg.roundsPerPair));
         }
         return samples;
     };
@@ -126,6 +153,139 @@ RhoReverseEngineer::tSbdr(std::uint64_t diff_mask)
     return best_value;
 }
 
+std::uint64_t
+RhoReverseEngineer::recoverOffset(double thres, unsigned phys_bits)
+{
+    unsigned g = cfg.offsetGranuleBits;
+    offset = 0;
+    if (phys_bits <= g)
+        return 0;
+    // Offsets differing only in the address-space MSB are physically
+    // equivalent: XOR at the top bit commutes with mod-2^n add/sub,
+    // so the larger offset is the smaller one composed with a uniform
+    // bank/row relabeling. Canonicalize to the half range.
+    std::uint64_t candidates = 1ULL << (phys_bits - g);
+    if (candidates > 1)
+        candidates /= 2;
+
+    // The low-bit structure is offset-invariant: candidates only
+    // differ in bits >= g, and subtracting a multiple of 2^g never
+    // borrows into the low bits, so a low-only diff mask predicts the
+    // same partner under every candidate. Classify low single bits,
+    // then collect same-function row-inclusive pairs entirely below
+    // the granule — one anchor per function, because each candidate
+    // discriminator needs an anchor in the function that owns the
+    // high bit it perturbs.
+    std::vector<unsigned> fast;
+    for (unsigned b = cfg.lowestBit; b < g; ++b) {
+        if (tSbdr(1ULL << b) <= thres)
+            fast.push_back(b);
+    }
+    constexpr unsigned maxAnchors = 4;
+    std::vector<unsigned> anchors;
+    std::vector<bool> used(g, false);
+    // Descending search: the interleaved functions put their
+    // row-partnered bits at the top of the low range, so each
+    // function's first slow pair comes quickly, and excluding found
+    // bits steers the scan to the next function rather than a
+    // duplicate pair of the same one.
+    for (std::size_t i = fast.size();
+         anchors.size() < maxAnchors && i-- > 1;) {
+        if (used[fast[i]])
+            continue;
+        for (std::size_t j = i; j-- > 0;) {
+            if (used[fast[j]])
+                continue;
+            std::uint64_t m = (1ULL << fast[i]) | (1ULL << fast[j]);
+            if (tSbdr(m) > thres) {
+                anchors.push_back(fast[j]);
+                used[fast[i]] = used[fast[j]] = true;
+                break;
+            }
+        }
+    }
+    if (anchors.empty())
+        return 0;
+
+    // Probe masks {anchor, high bit}. Under the true offset every
+    // mask's normalized difference is exactly the mask, so every mask
+    // classifies consistently and the same-function {anchor, high}
+    // masks are all SBDR-slow. A wrong offset's borrow chain mangles
+    // the difference per base, mixing the classes of the masks whose
+    // high bit sits where the candidate-vs-truth borrow patterns
+    // diverge — killing the MINIMUM per-mask consistency. Score =
+    // (#consistent-slow masks, min consistency); the slow count ranks
+    // the surviving candidates because residual borrow garbage lands
+    // on other functions and turns row conflicts into bank misses.
+    std::vector<std::uint64_t> masks;
+    for (unsigned hi = g; hi < phys_bits; ++hi) {
+        for (unsigned lo : anchors)
+            masks.push_back((1ULL << hi) | (1ULL << lo));
+    }
+
+    std::uint64_t best = 0;
+    double best_cons = -1.0, zero_cons = 0.0;
+    unsigned best_slow = 0, zero_slow = 0;
+    for (std::uint64_t k = 0; k < candidates; ++k) {
+        offset = k << g;
+        double min_cons = 1.0;
+        unsigned slow_masks = 0;
+        for (std::uint64_t m : masks) {
+            unsigned slow = 0, n = 0;
+            for (unsigned s = 0; s < cfg.offsetSamplesPerMask; ++s) {
+                PhysAddr partner = 0;
+                auto base = pairBaseAt(m, partner);
+                if (!base)
+                    continue;
+                double t =
+                    probe.measurePair(*base, partner, cfg.roundsPerPair);
+                ++n;
+                slow += t > thres ? 1 : 0;
+            }
+            if (n == 0)
+                continue;
+            double slow_frac =
+                static_cast<double>(slow) / static_cast<double>(n);
+            min_cons =
+                std::min(min_cons, std::max(slow_frac, 1.0 - slow_frac));
+            if (slow_frac >= cfg.offsetAcceptScore)
+                ++slow_masks;
+        }
+        if (verbose()) {
+            inform("recoverOffset: candidate %#llx cons %.3f slow %u",
+                   static_cast<unsigned long long>(k << g), min_cons,
+                   slow_masks);
+        }
+        if (k == 0) {
+            zero_cons = min_cons;
+            zero_slow = slow_masks;
+        }
+        // Consistency is the gate, recovered-SBDR count the ranking.
+        if (min_cons < cfg.offsetAcceptScore)
+            continue;
+        if (slow_masks > best_slow
+            || (slow_masks == best_slow && min_cons > best_cons)) {
+            best_cons = min_cons;
+            best_slow = slow_masks;
+            best = k;
+        }
+    }
+
+    // Prefer the linear hypothesis: adopt a non-zero offset only when
+    // offset 0 is REJECTED by its own masks — a true region offset
+    // makes some zero-offset mask mix classes (the borrow chain flips
+    // different functions per base), while a linear mapping times
+    // perfectly consistently at 0 no matter how tempting a shifted,
+    // gauge-equivalent description looks. Noise floods gate every
+    // candidate out (best stays 0); both fall back to 0.
+    offset = 0;
+    if (best != 0 && zero_cons < cfg.offsetAcceptScore
+        && best_slow > zero_slow) {
+        offset = best << g;
+    }
+    return offset;
+}
+
 double
 RhoReverseEngineer::findThreshold()
 {
@@ -161,6 +321,13 @@ RhoReverseEngineer::run()
     out.thresholdNs = thres;
 
     unsigned phys_bits = sys.mapping().physBits();
+    addrMask = phys_bits >= 64 ? ~0ULL : (1ULL << phys_bits) - 1;
+
+    // Step 0b: non-linear region offset. All subsequent probing runs
+    // in the normalized space, where the mapping is plain GF(2) again
+    // and Algorithm 1 applies unchanged.
+    out.regionOffset = recoverOffset(thres, phys_bits);
+
     std::vector<unsigned> all_bits;
     for (unsigned b = cfg.lowestBit; b < phys_bits; ++b)
         all_bits.push_back(b);

@@ -9,6 +9,7 @@
 #ifndef RHO_REVNG_REVERSE_ENGINEER_HH
 #define RHO_REVNG_REVERSE_ENGINEER_HH
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,21 @@ struct ReverseEngineerConfig
     Ns remeasureBackoffNs = 2e6; //!< first backoff, simulated ns
     double backoffFactor = 2.0;  //!< exponential backoff growth
     Ns maxBackoffNs = 8e6;       //!< backoff ceiling
+
+    // Non-linear (AMD Zen) region-offset recovery, step 0b. Region
+    // bases are multiples of 2^offsetGranuleBits; each candidate is
+    // gated by the *minimum* per-mask classification consistency of
+    // {low anchor bit, high bit} probe pairs and ranked by how many
+    // masks classify consistently SBDR-slow. A non-zero offset is
+    // adopted only when the zero-offset (linear) hypothesis FAILS the
+    // consistency bar on its own masks while the winner clears it and
+    // recovers strictly more slow masks — so linear mappings (which
+    // always time consistently at 0, even when a shifted description
+    // happens to be gauge-equivalent) and noise floods (which gate
+    // every candidate out) both fall back to offset 0.
+    unsigned offsetGranuleBits = 30;  //!< candidate spacing, log2
+    unsigned offsetSamplesPerMask = 8; //!< timed pairs per probe mask
+    double offsetAcceptScore = 0.85;  //!< consistency bar per mask
 };
 
 /** Outcome of a mapping-recovery run (any tool). */
@@ -54,6 +70,12 @@ struct MappingRecovery
     RetryStats measureRetry; //!< robust-measurement retries/backoffs
     std::vector<std::uint64_t> bankFns;
     std::vector<unsigned> rowBits; //!< ascending
+    /**
+     * Recovered non-linear region base (0 for linear mappings). When
+     * non-zero, bankFns/rowBits describe the structure of the
+     * region-normalized address (pa - regionOffset).
+     */
+    std::uint64_t regionOffset = 0;
     double thresholdNs = 0.0;
     Ns simTimeNs = 0.0;            //!< total simulated runtime
     std::uint64_t timedAccesses = 0;
@@ -93,11 +115,40 @@ class RhoReverseEngineer
     /** Step 0: find the SBDR/non-SBDR separating threshold. */
     double findThreshold();
 
+    /**
+     * Step 0b: scan region-offset candidates (multiples of the
+     * granule) and adopt the one whose predicted pairings time
+     * consistently — the Zen non-linearity detector. Returns the
+     * adopted offset (0 for linear mappings) and leaves the probing
+     * state (this->offset) set to it.
+     */
+    std::uint64_t recoverOffset(double thres, unsigned phys_bits);
+
+    /** (pa - offset) mod 2^physBits: the space the XOR core hashes. */
+    PhysAddr normalize(PhysAddr pa) const
+    {
+        return (pa - offset) & addrMask;
+    }
+    PhysAddr denormalize(PhysAddr n) const
+    {
+        return (n + offset) & addrMask;
+    }
+
+    /**
+     * A pooled base whose partner differs by diff_mask in normalized
+     * space (plain XOR when offset is 0). Returns the base and writes
+     * the partner; nullopt when the pool has no such pair.
+     */
+    std::optional<PhysAddr> pairBaseAt(std::uint64_t diff_mask,
+                                       PhysAddr &partner);
+
     TimingProbe &probe;
     const PhysPool &pool;
     Rng rng;
     ReverseEngineerConfig cfg;
     RetryStats measureRetry;
+    std::uint64_t offset = 0;   //!< region offset assumed while probing
+    std::uint64_t addrMask = 0; //!< 2^physBits - 1
 };
 
 } // namespace rho

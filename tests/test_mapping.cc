@@ -94,6 +94,50 @@ TEST_P(PresetMapping, RowNeighboursStayInBank)
     }
 }
 
+TEST_P(PresetMapping, RoundTripAtAddressSpaceBoundaries)
+{
+    auto [arch, g] = GetParam();
+    AddressMapping m = mappingFor(arch, g.sizeGib, g.ranks);
+
+    // Bottom and top cache lines of the physical space. On the Zen
+    // family the bottom sits BELOW the region base, so normalization
+    // wraps around the top of the address space — the decode must
+    // still be a clean bijection there.
+    std::vector<PhysAddr> edges;
+    for (PhysAddr d = 0; d < 4096; d += 64) {
+        edges.push_back(d);
+        edges.push_back(m.memBytes() - 64 - d);
+    }
+    // The region base itself and its vicinity (no-op for linear
+    // families, which report offset 0).
+    if (std::uint64_t base = m.regionOffset()) {
+        for (PhysAddr d = 0; d < 4096; d += 64) {
+            edges.push_back(base + d);
+            edges.push_back(base - 64 - d);
+        }
+    }
+    for (PhysAddr pa : edges) {
+        DramAddr da = m.decode(pa);
+        EXPECT_LT(da.bank, m.numBanks());
+        EXPECT_LT(da.row, m.numRows());
+        EXPECT_LT(da.col, m.numCols());
+        EXPECT_EQ(m.encode(da), pa) << "pa=" << pa;
+    }
+
+    // Extreme DRAM coordinates map inside the space and round-trip.
+    for (DramAddr da :
+         {DramAddr{0, 0, 0},
+          DramAddr{static_cast<std::uint32_t>(m.numBanks() - 1),
+                   m.numRows() - 1, m.numCols() - 1},
+          DramAddr{0, m.numRows() - 1, 0},
+          DramAddr{static_cast<std::uint32_t>(m.numBanks() - 1), 0,
+                   m.numCols() - 1}}) {
+        PhysAddr pa = m.encode(da);
+        EXPECT_LT(pa, m.memBytes());
+        EXPECT_EQ(m.decode(pa), da);
+    }
+}
+
 INSTANTIATE_TEST_SUITE_P(Table4, PresetMapping,
                          ::testing::ValuesIn(allPresets()));
 
