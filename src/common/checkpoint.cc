@@ -65,20 +65,29 @@ crc32(const void *data, std::size_t len)
 namespace
 {
 
-/** The byte string the record CRC covers. */
+/**
+ * The byte string the record CRC covers. Task records keep the
+ * original v2 image (no tag) for backward compatibility; meta records
+ * prefix their tag so the two namespaces cannot be spliced into each
+ * other by rewriting the tag word in place.
+ */
 std::string
-crcImage(unsigned index, std::uint64_t seq, const std::string &payload)
+crcImage(unsigned index, std::uint64_t seq, const std::string &payload,
+         bool meta)
 {
     std::ostringstream os;
+    if (meta)
+        os << "meta ";
     os << index << " " << seq << " " << payload;
     return os.str();
 }
 
 std::string
-recordLine(unsigned index, std::uint64_t seq, const std::string &payload)
+recordLine(unsigned index, std::uint64_t seq, const std::string &payload,
+           bool meta)
 {
-    std::string image = crcImage(index, seq, payload);
-    return strFormat("task %u %llu %08x ", index,
+    std::string image = crcImage(index, seq, payload, meta);
+    return strFormat("%s %u %llu %08x ", meta ? "meta" : "task", index,
                      (unsigned long long)seq,
                      crc32(image.data(), image.size())) +
            payload + "\n";
@@ -134,19 +143,23 @@ TaskJournal::TaskJournal(const std::string &path, std::uint64_t key,
                     unsigned index;
                     std::uint64_t seq;
                     if (!(rec >> tag >> index >> seq >> crc_hex) ||
-                        tag != "task" || crc_hex.size() != 8)
+                        (tag != "task" && tag != "meta") ||
+                        crc_hex.size() != 8)
                         break;
+                    bool is_meta = tag == "meta";
                     std::uint32_t want =
                         (std::uint32_t)std::strtoul(crc_hex.c_str(),
                                                     nullptr, 16);
                     std::string payload = restOfLine(rec);
-                    std::string image = crcImage(index, seq, payload);
+                    std::string image =
+                        crcImage(index, seq, payload, is_meta);
                     if (crc32(image.data(), image.size()) != want)
                         break; // bit-rot: reject, truncate here
                     if (seq <= prev_seq)
                         break; // duplicate/reordered record
                     prev_seq = seq;
-                    good.push_back({index, seq, std::move(payload)});
+                    good.push_back(
+                        {index, seq, std::move(payload), is_meta});
                 }
                 // Count the untrusted suffix after a corrupt record so
                 // recovery reports the full loss, not just line one.
@@ -174,7 +187,8 @@ TaskJournal::TaskJournal(const std::string &path, std::uint64_t key,
                         ++recov.recordsDropped;
                         continue; // unreadable: skip, keep the rest
                     }
-                    good.push_back({index, nextSeq++, restOfLine(rec)});
+                    good.push_back(
+                        {index, nextSeq++, restOfLine(rec), false});
                 }
                 recov.recordsLoaded = good.size();
             }
@@ -189,8 +203,12 @@ TaskJournal::TaskJournal(const std::string &path, std::uint64_t key,
         nextSeq = 1;
     }
 
-    for (const LoadedLine &l : good)
-        restored[l.index] = l.payload;
+    for (const LoadedLine &l : good) {
+        if (l.meta)
+            restoredMeta[l.index] = l.payload;
+        else
+            restored[l.index] = l.payload;
+    }
 
     if (needs_rewrite)
         rewriteAtomic(good);
@@ -216,7 +234,7 @@ TaskJournal::rewriteAtomic(const std::vector<LoadedLine> &lines)
         fatal("TaskJournal: cannot write %s", tmp.c_str());
     std::string content = header + "\n";
     for (const LoadedLine &l : lines)
-        content += recordLine(l.index, l.seq, l.payload);
+        content += recordLine(l.index, l.seq, l.payload, l.meta);
     const char *p = content.data();
     std::size_t left = content.size();
     while (left > 0) {
@@ -269,8 +287,22 @@ void
 TaskJournal::record(unsigned index, const std::string &payload)
 {
     std::lock_guard<std::mutex> lock(mtx);
+    recordLocked(index, payload, false);
+}
+
+void
+TaskJournal::recordMeta(unsigned index, const std::string &payload)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    recordLocked(index, payload, true);
+}
+
+void
+TaskJournal::recordLocked(unsigned index, const std::string &payload,
+                          bool meta)
+{
     std::uint64_t seq = nextSeq++;
-    std::string line = recordLine(index, seq, payload);
+    std::string line = recordLine(index, seq, payload, meta);
     if (opts.bitRot) {
         // Corrupt on the way to disk (never the trailing newline so
         // the damage stays within this record's line).
@@ -311,6 +343,15 @@ TaskJournal::lookup(unsigned index) const
 {
     auto it = restored.find(index);
     if (it == restored.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::optional<std::string>
+TaskJournal::lookupMeta(unsigned index) const
+{
+    auto it = restoredMeta.find(index);
+    if (it == restoredMeta.end())
         return std::nullopt;
     return it->second;
 }

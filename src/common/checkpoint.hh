@@ -15,9 +15,18 @@
  *
  *   rho-journal v2 <kind> <key-hex>                  (header)
  *   task <index> <seq> <crc-hex> <payload>           (one per task)
+ *   meta <index> <seq> <crc-hex> <payload>           (aux records)
  *
- * `seq` is a strictly monotonic per-file sequence number and `crc` a
- * CRC32 (IEEE) over "<index> <seq> <payload>". A record is trusted
+ * `meta` is a second record kind sharing the task sequence space but
+ * a separate index namespace: campaign engines use it for per-phase
+ * bookkeeping that is not a task result (the evolutionary fuzzer
+ * journals one generation-digest meta record per generation so a
+ * resumed search can prove the restored trial outcomes belong to the
+ * same deterministic evolution trajectory). `seq` is a strictly
+ * monotonic per-file sequence number and `crc` a CRC32 (IEEE) over
+ * "<index> <seq> <payload>" for task records and
+ * "meta <index> <seq> <payload>" for meta records (the tag is part of
+ * the image so the two namespaces cannot be spliced into each other). A record is trusted
  * only if its line is newline-terminated, parses, its CRC matches and
  * its sequence number strictly increases — so torn final lines, rotted
  * bits, duplicated lines and spliced tails are all detected. Recovery
@@ -128,6 +137,9 @@ class TaskJournal
     /** Payload of a previously completed task, if journaled. */
     std::optional<std::string> lookup(unsigned index) const;
 
+    /** Payload of a previously recorded meta record, if journaled. */
+    std::optional<std::string> lookupMeta(unsigned index) const;
+
     /** Number of restorable task records loaded at open. */
     std::size_t restoredCount() const { return restored.size(); }
 
@@ -145,6 +157,12 @@ class TaskJournal
      */
     void record(unsigned index, const std::string &payload);
 
+    /**
+     * Record an auxiliary (non-task) entry under the meta namespace.
+     * Same durability and thread-safety contract as record().
+     */
+    void recordMeta(unsigned index, const std::string &payload);
+
     /** Force an fsync of everything appended so far. */
     void sync();
 
@@ -159,6 +177,7 @@ class TaskJournal
         unsigned index;
         std::uint64_t seq;
         std::string payload;
+        bool meta = false;
     };
 
     /** Write header + records to a temp file and rename into place. */
@@ -166,9 +185,13 @@ class TaskJournal
     void openAppendFd();
     void maybeFsync();
 
+    void recordLocked(unsigned index, const std::string &payload,
+                      bool meta);
+
     std::string filePath;
     std::string header;
     std::unordered_map<unsigned, std::string> restored;
+    std::unordered_map<unsigned, std::string> restoredMeta;
     JournalOptions opts;
     JournalRecovery recov;
     std::uint64_t nextSeq = 1;

@@ -43,6 +43,10 @@ enum class FailureCode : std::uint8_t
     WorkerHung,             //!< worker missed heartbeats / deadline
     ShardQuarantined,       //!< shard exhausted its retry budget
     JournalCorrupted,       //!< journal records failed CRC / were lost
+
+    // Pattern synthesis / fuzzing (src/hammer pattern engines).
+    InvalidPatternParams,   //!< degenerate PatternParams ranges
+    PatternUnplaceable,     //!< footprint exceeds the bank's row space
 };
 
 /** Stable identifier string (used in logs and machine output). */
@@ -70,6 +74,9 @@ failureCodeName(FailureCode c)
     case FailureCode::WorkerHung: return "worker-hung";
     case FailureCode::ShardQuarantined: return "shard-quarantined";
     case FailureCode::JournalCorrupted: return "journal-corrupted";
+    case FailureCode::InvalidPatternParams:
+        return "invalid-pattern-params";
+    case FailureCode::PatternUnplaceable: return "pattern-unplaceable";
     }
     return "unknown";
 }

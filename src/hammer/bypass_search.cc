@@ -1,7 +1,20 @@
 #include "hammer/bypass_search.hh"
 
+#include "common/logging.hh"
+#include "common/table.hh"
+
 namespace rho
 {
+
+const char *
+bypassEngineName(BypassEngine engine)
+{
+    switch (engine) {
+      case BypassEngine::Blind: return "blind";
+      case BypassEngine::Evolved: return "evolved";
+    }
+    return "unknown";
+}
 
 std::vector<MitigationConfig>
 mitigationFrontier()
@@ -72,19 +85,49 @@ bypassSearch(Arch arch, const DimmProfile &dimm, const HammerConfig &cfg,
         SystemSpec spec(arch, dimm, mit.trr, mit.rfm);
         spec.prac = mit.prac;
 
-        FuzzParams fuzz = params.fuzz;
-        // One journal file per frontier point: the journal header
-        // carries a single campaign key, so sharing one file across
-        // configurations would discard the previous configuration's
-        // records on every switch.
-        if (!fuzz.checkpointPath.empty())
-            fuzz.checkpointPath += "." + mit.name;
-
         MetricsRegistry local;
         BypassConfigResult r;
         r.name = mit.name;
-        r.fuzz = fuzzCampaign(spec, cfg, fuzz, params.seed, nullptr,
-                              &local);
+        if (params.engine == BypassEngine::Blind) {
+            FuzzParams fuzz = params.fuzz;
+            // One journal file per frontier point: the journal header
+            // carries a single campaign key, so sharing one file
+            // across configurations would discard the previous
+            // configuration's records on every switch.
+            if (!fuzz.checkpointPath.empty())
+                fuzz.checkpointPath += "." + mit.name;
+            r.fuzz = fuzzCampaign(spec, cfg, fuzz, params.seed, nullptr,
+                                  &local);
+            r.trialsRun = r.fuzz.failure == FailureCode::None
+                              ? params.fuzz.numPatterns
+                              : 0;
+        } else {
+            EvoParams evo = params.evo;
+            if (!evo.checkpointPath.empty())
+                evo.checkpointPath += "." + mit.name;
+            EvoResult er = evolvedFuzzCampaign(spec, cfg, evo,
+                                               params.seed, nullptr,
+                                               &local);
+            // Project into the FuzzResult shape so callers (and the
+            // comparison tests) read both engines uniformly.
+            r.fuzz.totalFlips = er.totalFlips;
+            r.fuzz.bestPatternFlips = er.bestPatternFlips;
+            r.fuzz.bestPattern = std::move(er.bestPattern);
+            r.fuzz.effectivePatterns = er.effectivePatterns;
+            r.fuzz.unplaceablePatterns = er.unplaceablePatterns;
+            r.fuzz.simTimeNs = er.simTimeNs;
+            r.fuzz.dramAccesses = er.dramAccesses;
+            r.fuzz.failure = er.failure;
+            r.fuzz.failureReason = er.failureReason;
+            r.trialsRun = er.trialsRun;
+            r.generationBestFlips = std::move(er.bestFlipsPerGeneration);
+        }
+        if (r.fuzz.failure != FailureCode::None &&
+            report.failure == FailureCode::None) {
+            report.failure = r.fuzz.failure;
+            report.failureReason =
+                mit.name + ": " + r.fuzz.failureReason;
+        }
         r.acts = local.value("dram.acts");
         r.trrRefreshes = local.value("dram.refreshes.trr");
         r.rfmCommands = local.value("dram.refreshes.rfm");
@@ -108,6 +151,58 @@ bypassSearch(Arch arch, const DimmProfile &dimm, const HammerConfig &cfg,
         report.configs.push_back(std::move(r));
     }
     return report;
+}
+
+std::string
+renderBypassBoundary(const BypassReport &blind,
+                     const BypassReport &evolved)
+{
+    if (blind.configs.size() != evolved.configs.size())
+        panic("renderBypassBoundary: reports cover different frontiers");
+
+    TextTable table({"config", "blind flips", "blind best", "evo flips",
+                     "evo best", "evo curve", "RFMs", "ALERTn",
+                     "verdict"});
+    for (std::size_t i = 0; i < blind.configs.size(); ++i) {
+        const BypassConfigResult &b = blind.configs[i];
+        const BypassConfigResult &e = evolved.configs[i];
+        if (b.name != e.name)
+            panic("renderBypassBoundary: config order mismatch (%s vs "
+                  "%s)",
+                  b.name.c_str(), e.name.c_str());
+
+        std::string curve;
+        for (std::uint64_t f : e.generationBestFlips) {
+            if (!curve.empty())
+                curve += "-";
+            curve += strFormat("%llu", (unsigned long long)f);
+        }
+        if (curve.empty())
+            curve = "n/a";
+
+        const char *verdict;
+        if (b.bypassed && e.bypassed)
+            verdict = "open";
+        else if (e.bypassed)
+            verdict = "evo-only";
+        else if (b.bypassed)
+            verdict = "blind-only";
+        else
+            verdict = "sealed";
+
+        table.addRow(
+            {b.name,
+             strFormat("%llu", (unsigned long long)b.fuzz.totalFlips),
+             strFormat("%llu",
+                       (unsigned long long)b.fuzz.bestPatternFlips),
+             strFormat("%llu", (unsigned long long)e.fuzz.totalFlips),
+             strFormat("%llu",
+                       (unsigned long long)e.fuzz.bestPatternFlips),
+             curve, strFormat("%llu", (unsigned long long)e.rfmCommands),
+             strFormat("%llu", (unsigned long long)e.pracAlerts),
+             verdict});
+    }
+    return table.render();
 }
 
 } // namespace rho

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "hammer/evo_fuzzer.hh"
 #include "hammer/pattern_fuzzer.hh"
 #include "memsys/memory_system.hh"
 
@@ -43,6 +44,16 @@ struct MitigationConfig
  */
 std::vector<MitigationConfig> mitigationFrontier();
 
+/** Which pattern-search engine drives the per-config campaign. */
+enum class BypassEngine : std::uint8_t
+{
+    Blind,   //!< pattern_fuzzer: independent random patterns
+    Evolved, //!< evo_fuzzer: feedback-driven generational search
+};
+
+/** Short display name ("blind", "evolved"). */
+const char *bypassEngineName(BypassEngine engine);
+
 /** Outcome of fuzzing one mitigation configuration. */
 struct BypassConfigResult
 {
@@ -54,6 +65,11 @@ struct BypassConfigResult
     std::uint64_t pracAlerts = 0;     //!< ALERT_n assertions
     double flipsPerMinute = 0.0;      //!< flips over simulated minutes
     bool bypassed = false;            //!< some pattern produced a flip
+    std::uint64_t trialsRun = 0;      //!< pattern evaluations merged
+
+    /** Evolved engine only: the per-generation learning curve
+     *  (EvoResult::bestFlipsPerGeneration); empty for Blind. */
+    std::vector<std::uint64_t> generationBestFlips;
 };
 
 /** Sizing of one bypass search. */
@@ -62,6 +78,16 @@ struct BypassParams
     FuzzParams fuzz; //!< per-config campaign sizing (checkpointPath is
                      //!< treated as a base name; each configuration
                      //!< journals to "<base>.<config-name>")
+
+    /**
+     * Evolved-engine sizing (used when engine == Evolved). Its
+     * checkpointPath/journal/jobs/refSync/patternParams are taken from
+     * here, not from `fuzz` — the two engines journal under different
+     * kinds and must not share files.
+     */
+    EvoParams evo;
+
+    BypassEngine engine = BypassEngine::Blind;
     std::uint64_t seed = 1;
 };
 
@@ -69,6 +95,16 @@ struct BypassParams
 struct BypassReport
 {
     std::vector<BypassConfigResult> configs;
+
+    /**
+     * First per-config campaign failure (invalid params, all patterns
+     * unplaceable); None when every campaign ran. Individual configs
+     * carry their own code in configs[i].fuzz.failure.
+     */
+    FailureCode failure = FailureCode::None;
+    std::string failureReason;
+
+    bool ok() const { return failure == FailureCode::None; }
 
     /** Configs where at least one fuzzed pattern flipped a bit. */
     unsigned
@@ -96,6 +132,27 @@ BypassReport bypassSearch(Arch arch, const DimmProfile &dimm,
                           const std::vector<MitigationConfig> &frontier,
                           const BypassParams &params,
                           MetricsRegistry *metrics = nullptr);
+
+/**
+ * Render the bypass-boundary table comparing the blind sampler and the
+ * evolved search over the same frontier at equal trial budgets: per
+ * config, each engine's total/best flips, the evolved learning curve,
+ * the defense's visible reaction (RFM commands, ALERT_n assertions —
+ * from the evolved run), and a verdict:
+ *
+ *   open      — both engines flip bits (the defense is below the
+ *               boundary for any search strategy)
+ *   evo-only  — only the evolved search flips bits (the boundary
+ *               sits between blind and feedback-driven search)
+ *   blind-only— only the blind sampler flips bits (rare; sampling
+ *               luck at small budgets)
+ *   sealed    — neither engine flips a bit
+ *
+ * `blind` and `evolved` must cover the same configs in the same
+ * order. The string is deterministic (golden-testable).
+ */
+std::string renderBypassBoundary(const BypassReport &blind,
+                                 const BypassReport &evolved);
 
 } // namespace rho
 

@@ -1,0 +1,359 @@
+#include "hammer/evo_fuzzer.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <numeric>
+#include <sstream>
+
+#include "common/parallel.hh"
+#include "common/table.hh"
+#include "hammer/sweep.hh"
+
+namespace rho
+{
+
+std::string
+evoParamsError(const EvoParams &params)
+{
+    std::string pattern_err = patternParamsError(params.patternParams);
+    if (!pattern_err.empty())
+        return pattern_err;
+    if (params.populationSize < 1)
+        return "populationSize must be >= 1";
+    if (params.generations < 1)
+        return "generations must be >= 1";
+    if (params.elites >= params.populationSize)
+        return strFormat("elites (%u) must be < populationSize (%u)",
+                         params.elites, params.populationSize);
+    if (params.tournamentSize < 1)
+        return "tournamentSize must be >= 1";
+    if (params.crossoverProb < 0.0 || params.crossoverProb > 1.0)
+        return "crossoverProb must be in [0, 1]";
+    if (params.immigrantProb < 0.0 || params.immigrantProb > 1.0)
+        return "immigrantProb must be in [0, 1]";
+    return "";
+}
+
+namespace
+{
+
+/** One trial's evaluation outcome (same shape as a fuzz task). */
+struct EvoTaskResult
+{
+    std::uint64_t flips = 0;
+    std::uint64_t dramAccesses = 0;
+    unsigned unplaceable = 0;
+    Ns simTimeNs = 0.0;
+    std::uint64_t acts = 0;
+    std::uint64_t trrRefreshes = 0;
+    std::uint64_t rfmCommands = 0;
+    std::uint64_t pracAlerts = 0;
+};
+
+std::string
+serializeEvoTask(const EvoTaskResult &r)
+{
+    std::ostringstream out;
+    out << r.flips << " " << r.dramAccesses << " "
+        << encodeDouble(r.simTimeNs) << " " << r.acts << " "
+        << r.trrRefreshes << " " << r.rfmCommands << " " << r.pracAlerts
+        << " " << r.unplaceable;
+    return out.str();
+}
+
+bool
+parseEvoTask(const std::string &payload, EvoTaskResult &r)
+{
+    std::istringstream in(payload);
+    std::string sim_hex;
+    if (!(in >> r.flips >> r.dramAccesses >> sim_hex >> r.acts
+          >> r.trrRefreshes >> r.rfmCommands >> r.pracAlerts
+          >> r.unplaceable))
+        return false;
+    auto sim = decodeDouble(sim_hex);
+    if (!sim)
+        return false;
+    r.simTimeNs = *sim;
+    return true;
+}
+
+/**
+ * Fitness of one evaluated genome: flips dominate, then TRR sampler
+ * churn (a pattern the sampler keeps chasing has found the decoy
+ * balance the next mutation can exploit), then raw activations (a
+ * throughput proxy — patterns that stall the bus breed out).
+ */
+struct Fitness
+{
+    std::uint64_t flips = 0;
+    std::uint64_t trrRefreshes = 0;
+    std::uint64_t acts = 0;
+
+    bool
+    operator<(const Fitness &o) const
+    {
+        if (flips != o.flips)
+            return flips < o.flips;
+        if (trrRefreshes != o.trrRefreshes)
+            return trrRefreshes < o.trrRefreshes;
+        return acts < o.acts;
+    }
+};
+
+/** Order-sensitive digest of a generation's genomes. */
+std::uint64_t
+populationDigest(unsigned generation,
+                 const std::vector<HammerPattern> &pop)
+{
+    std::uint64_t d = hashCombine(0xe70d16e5ULL, generation);
+    for (const HammerPattern &p : pop) {
+        d = hashCombine(d, p.id());
+        d = hashCombine(d, p.genomeFingerprint());
+    }
+    return d;
+}
+
+} // namespace
+
+std::uint64_t
+evoJournalKey(const SystemSpec &spec, const HammerConfig &cfg,
+              const EvoParams &params, std::uint64_t seed)
+{
+    HammerConfig eff = cfg;
+    if (params.refSync)
+        eff.refSync = true;
+    std::uint64_t key = campaignKey(spec, eff, seed);
+    key = hashCombine(key, 0xe70ULL);
+    key = hashCombine(key, params.populationSize);
+    key = hashCombine(key, params.generations);
+    key = hashCombine(key, params.elites);
+    key = hashCombine(key, params.tournamentSize);
+    key = hashCombine(key, std::bit_cast<std::uint64_t>(
+                               params.crossoverProb));
+    key = hashCombine(key, std::bit_cast<std::uint64_t>(
+                               params.immigrantProb));
+    key = hashCombine(key, params.locationsPerPattern);
+    key = hashCombine(key, params.patternParams.minPairs);
+    key = hashCombine(key, params.patternParams.maxPairs);
+    key = hashCombine(key, params.patternParams.minPeriodLog2);
+    key = hashCombine(key, params.patternParams.maxPeriodLog2);
+    key = hashCombine(key, params.patternParams.maxFreqLog2);
+    key = hashCombine(key, params.patternParams.maxAmpLog2);
+    key = hashCombine(key, params.patternParams.maxRowSpread);
+    return key;
+}
+
+EvoResult
+evolvedFuzzCampaign(const SystemSpec &spec, const HammerConfig &cfg,
+                    const EvoParams &params, std::uint64_t seed,
+                    ParallelStats *stats, MetricsRegistry *metrics)
+{
+    EvoResult res;
+    if (std::string err = evoParamsError(params); !err.empty()) {
+        res.failure = FailureCode::InvalidPatternParams;
+        res.failureReason = err;
+        return res;
+    }
+    HammerConfig run_cfg = cfg;
+    if (params.refSync)
+        run_cfg.refSync = true;
+
+    std::shared_ptr<TaskJournal> journal;
+    if (!params.checkpointPath.empty()) {
+        journal = std::make_shared<TaskJournal>(
+            params.checkpointPath, evoJournalKey(spec, cfg, params, seed),
+            EvoJournalKind, params.journal);
+    }
+
+    const unsigned pop_size = params.populationSize;
+    const PatternParams &pp = params.patternParams;
+
+    // Master rng: ALL genetics draw from here, serially, so the
+    // trajectory is a pure function of (seed, restored fitness) no
+    // matter how the evaluations are scheduled.
+    Rng evo(hashCombine(seed, 0xe701ULL));
+
+    std::vector<HammerPattern> pop;
+    pop.reserve(pop_size);
+    for (unsigned j = 0; j < pop_size; ++j) {
+        HammerPattern p = HammerPattern::randomGenome(evo, pp);
+        if (j % 2 == 0) {
+            // Anchor half the seed population on the uniform-stride
+            // layout the blind sampler uses: disjoint pairs with
+            // sandwiched victims are a known-good geometry, so
+            // evolution starts at the blind baseline and explores
+            // spread offsets from there instead of having to
+            // rediscover non-overlapping placements.
+            std::vector<PairGene> genome = p.genome();
+            for (unsigned k = 0; k < genome.size(); ++k)
+                genome[k].rowOffset =
+                    std::min(k * p.stride(), pp.maxRowSpread);
+            p = HammerPattern::fromGenome(
+                p.id(), static_cast<unsigned>(p.slots().size()),
+                std::move(genome));
+        }
+        pop.push_back(std::move(p));
+    }
+
+    // Restored trial records are trusted only while every generation
+    // digest matches the replayed trajectory; after a mismatch the
+    // journal is from a diverged run and the tail re-executes live.
+    bool trust = journal != nullptr;
+    std::atomic<std::uint64_t> restored{0};
+
+    auto tournament = [&](const std::vector<Fitness> &fit) -> unsigned {
+        unsigned best = static_cast<unsigned>(
+            evo.uniformInt(0, pop_size - 1));
+        for (unsigned k = 1; k < params.tournamentSize; ++k) {
+            unsigned c = static_cast<unsigned>(
+                evo.uniformInt(0, pop_size - 1));
+            if (fit[best] < fit[c])
+                best = c;
+        }
+        return best;
+    };
+
+    for (unsigned g = 0; g < params.generations; ++g) {
+        if (journal) {
+            std::string digest = strFormat(
+                "%016llx",
+                (unsigned long long)populationDigest(g, pop));
+            if (auto m = journal->lookupMeta(g)) {
+                if (*m != digest) {
+                    trust = false;
+                    journal->recordMeta(g, digest);
+                }
+            } else {
+                journal->recordMeta(g, digest);
+            }
+        }
+
+        auto task = [&](unsigned j) -> EvoTaskResult {
+            unsigned t = g * pop_size + j;
+            EvoTaskResult r;
+            if (journal && trust) {
+                if (auto payload = journal->lookup(t)) {
+                    if (parseEvoTask(*payload, r)) {
+                        restored.fetch_add(1,
+                                           std::memory_order_relaxed);
+                        return r;
+                    }
+                }
+            }
+            std::uint64_t task_seed = hashCombine(seed, t);
+            MemorySystem sys = spec.instantiate(task_seed);
+            HammerSession session(sys, task_seed);
+            Ns t0 = sys.now();
+            for (unsigned l = 0; l < params.locationsPerPattern; ++l) {
+                LocationPick pick =
+                    session.tryRandomLocation(pop[j], run_cfg);
+                if (!pick.ok()) {
+                    r.unplaceable = 1;
+                    break;
+                }
+                HammerOutcome out =
+                    session.hammer(pop[j], *pick.loc, run_cfg);
+                r.flips += out.flips;
+                r.dramAccesses += out.perf.dramAccesses;
+            }
+            r.simTimeNs = sys.now() - t0;
+            r.acts = sys.dimm().totalActs();
+            r.trrRefreshes = sys.dimm().trrRefreshCount();
+            r.rfmCommands = sys.dimm().rfmCommandCount();
+            r.pracAlerts = sys.dimm().pracAlertCount();
+            if (journal)
+                journal->record(t, serializeEvoTask(r));
+            return r;
+        };
+
+        ParallelStats gen_stats;
+        auto evals = parallelMapOrdered(pop_size, params.jobs, task,
+                                        stats ? &gen_stats : nullptr);
+        if (stats) {
+            stats->jobs = gen_stats.jobs;
+            stats->tasksRun += gen_stats.tasksRun;
+            stats->steals += gen_stats.steals;
+            stats->wallNs += gen_stats.wallNs;
+        }
+
+        // Merge in trial order: the earliest strict maximum (across
+        // the whole search) keeps the best-pattern slot.
+        std::vector<Fitness> fit(pop_size);
+        for (unsigned j = 0; j < pop_size; ++j) {
+            const EvoTaskResult &t = evals[j];
+            ++res.trialsRun;
+            res.unplaceablePatterns += t.unplaceable;
+            if (t.flips > 0) {
+                ++res.effectivePatterns;
+                res.totalFlips += t.flips;
+            }
+            if (t.flips > res.bestPatternFlips) {
+                res.bestPatternFlips = t.flips;
+                res.bestPattern = pop[j];
+            }
+            res.dramAccesses += t.dramAccesses;
+            res.simTimeNs += t.simTimeNs;
+            fit[j] = Fitness{t.flips, t.trrRefreshes, t.acts};
+            if (metrics) {
+                metrics->add("dram.acts", t.acts);
+                metrics->add("dram.refreshes.trr", t.trrRefreshes);
+                metrics->add("dram.refreshes.rfm", t.rfmCommands);
+                metrics->add("dram.alerts.prac", t.pracAlerts);
+                metrics->add("cpu.dram_accesses", t.dramAccesses);
+                metrics->add("hammer.flips", t.flips);
+            }
+        }
+        res.bestFlipsPerGeneration.push_back(res.bestPatternFlips);
+
+        if (g + 1 == params.generations)
+            break;
+
+        // Breed the next generation (serial; master rng only).
+        std::vector<unsigned> order(pop_size);
+        std::iota(order.begin(), order.end(), 0u);
+        std::stable_sort(order.begin(), order.end(),
+                         [&](unsigned a, unsigned b) {
+                             return fit[b] < fit[a];
+                         });
+        std::vector<HammerPattern> next;
+        next.reserve(pop_size);
+        for (unsigned e = 0; e < params.elites; ++e)
+            next.push_back(pop[order[e]]);
+        while (next.size() < pop_size) {
+            if (evo.chance(params.immigrantProb)) {
+                next.push_back(HammerPattern::randomGenome(evo, pp));
+                continue;
+            }
+            unsigned a = tournament(fit);
+            if (evo.chance(params.crossoverProb)) {
+                unsigned b = tournament(fit);
+                HammerPattern child =
+                    HammerPattern::crossover(evo, pop[a], pop[b], pp);
+                next.push_back(child.mutate(evo, pp));
+            } else {
+                next.push_back(pop[a].mutate(evo, pp));
+            }
+        }
+        pop = std::move(next);
+    }
+
+    if (stats) {
+        stats->tasksRestored = restored.load();
+        stats->tasksRun -= std::min<std::uint64_t>(stats->tasksRun,
+                                                   restored.load());
+        stats->simNs = res.simTimeNs;
+    }
+    if (metrics) {
+        metrics->add("campaign.patterns", res.trialsRun);
+        metrics->add("campaign.generations", params.generations);
+    }
+    if (res.trialsRun > 0 && res.unplaceablePatterns == res.trialsRun) {
+        res.failure = FailureCode::PatternUnplaceable;
+        res.failureReason =
+            "every pattern footprint exceeded the bank's row space";
+    }
+    return res;
+}
+
+} // namespace rho

@@ -145,17 +145,45 @@ HammerSession::victimRows(const HammerPattern &pattern,
     return {victims.begin(), victims.end()};
 }
 
-HammerLocation
-HammerSession::randomLocation(const HammerPattern &pattern,
-                              const HammerConfig &cfg)
+LocationPick
+HammerSession::tryRandomLocation(const HammerPattern &pattern,
+                                 const HammerConfig &cfg)
 {
     (void)cfg;
     const auto &geom = sys.dimm().geometry();
     std::uint64_t span = pattern.footprintRows() + 8;
+    LocationPick pick;
+    // Guard rows on both ends: baseRow >= 8 and span + 8 headroom
+    // above. `rowsPerBank - span - 8` underflows (unsigned) for wide
+    // patterns, which used to hand uniformInt a range near 2^64 and
+    // place aggressors past the end of the bank.
+    if (span + 16 > geom.rowsPerBank) {
+        pick.failure = FailureCode::PatternUnplaceable;
+        return pick;
+    }
     HammerLocation loc;
     loc.bank = static_cast<std::uint32_t>(
         rng.uniformInt(0, geom.flatBanks() - 1));
     loc.baseRow = rng.uniformInt(8, geom.rowsPerBank - span - 8);
+    pick.loc = loc;
+    return pick;
+}
+
+HammerLocation
+HammerSession::randomLocation(const HammerPattern &pattern,
+                              const HammerConfig &cfg)
+{
+    LocationPick pick = tryRandomLocation(pattern, cfg);
+    if (pick.ok())
+        return *pick.loc;
+    // Unplaceable: clamp to the bottom guard row. Rows past the bank
+    // end are simply never activated; this is the best-effort legacy
+    // contract for callers that cannot handle failure.
+    const auto &geom = sys.dimm().geometry();
+    HammerLocation loc;
+    loc.bank = static_cast<std::uint32_t>(
+        rng.uniformInt(0, geom.flatBanks() - 1));
+    loc.baseRow = 8;
     return loc;
 }
 

@@ -9,8 +9,10 @@
 #ifndef RHO_HAMMER_HAMMER_SESSION_HH
 #define RHO_HAMMER_HAMMER_SESSION_HH
 
+#include <optional>
 #include <vector>
 
+#include "common/failure.hh"
 #include "cpu/sim_cpu.hh"
 #include "hammer/pattern.hh"
 #include "memsys/memory_system.hh"
@@ -71,6 +73,15 @@ struct HammerLocation
     std::uint64_t baseRow = 0;
 };
 
+/** Outcome of trying to place a pattern in a bank. */
+struct LocationPick
+{
+    std::optional<HammerLocation> loc;
+    FailureCode failure = FailureCode::None;
+
+    bool ok() const { return loc.has_value(); }
+};
+
 /** Result of executing one pattern at one location. */
 struct HammerOutcome
 {
@@ -104,7 +115,24 @@ class HammerSession
                             const HammerLocation &loc,
                             const HammerConfig &cfg);
 
-    /** A valid random location for the pattern footprint. */
+    /**
+     * A valid random location for the pattern footprint, or
+     * FailureCode::PatternUnplaceable when the footprint (plus guard
+     * rows) does not fit the bank's row space. Callers that sample
+     * locations in a loop must check this instead of calling
+     * randomLocation(), whose legacy signature cannot report failure.
+     */
+    LocationPick tryRandomLocation(const HammerPattern &pattern,
+                                   const HammerConfig &cfg);
+
+    /**
+     * A valid random location for the pattern footprint. For a
+     * pattern too wide for the bank this clamps to base row 8 rather
+     * than sampling from a wrapped unsigned range (the historical
+     * behaviour picked a base row near 2^64 mod rowsPerBank, placing
+     * aggressors out of bounds); prefer tryRandomLocation() to detect
+     * that case.
+     */
     HammerLocation randomLocation(const HammerPattern &pattern,
                                   const HammerConfig &cfg);
 

@@ -20,15 +20,31 @@ FuzzResult
 PatternFuzzer::run(const HammerConfig &cfg, const FuzzParams &params)
 {
     FuzzResult res;
+    if (std::string err = patternParamsError(params.patternParams);
+        !err.empty()) {
+        res.failure = FailureCode::InvalidPatternParams;
+        res.failureReason = err;
+        return res;
+    }
+    HammerConfig run_cfg = cfg;
+    if (params.refSync)
+        run_cfg.refSync = true;
     Ns t0 = session.system().now();
 
     for (unsigned i = 0; i < params.numPatterns; ++i) {
         HammerPattern pattern =
             HammerPattern::randomNonUniform(rng, params.patternParams);
+        LocationPick first = session.tryRandomLocation(pattern, run_cfg);
+        if (!first.ok()) {
+            ++res.unplaceablePatterns;
+            continue;
+        }
         std::uint64_t pattern_flips = 0;
         for (unsigned l = 0; l < params.locationsPerPattern; ++l) {
-            HammerLocation loc = session.randomLocation(pattern, cfg);
-            HammerOutcome out = session.hammer(pattern, loc, cfg);
+            HammerLocation loc =
+                l == 0 ? *first.loc
+                       : session.randomLocation(pattern, run_cfg);
+            HammerOutcome out = session.hammer(pattern, loc, run_cfg);
             pattern_flips += out.flips;
             res.dramAccesses += out.perf.dramAccesses;
         }
@@ -42,6 +58,12 @@ PatternFuzzer::run(const HammerConfig &cfg, const FuzzParams &params)
         }
     }
     res.simTimeNs = session.system().now() - t0;
+    if (params.numPatterns > 0 &&
+        res.unplaceablePatterns == params.numPatterns) {
+        res.failure = FailureCode::PatternUnplaceable;
+        res.failureReason =
+            "every pattern footprint exceeded the bank's row space";
+    }
     return res;
 }
 
@@ -54,6 +76,7 @@ struct FuzzTaskResult
     HammerPattern pattern;
     std::uint64_t flips = 0;
     std::uint64_t dramAccesses = 0;
+    unsigned unplaceable = 0; //!< 1 when the pattern did not fit
     Ns simTimeNs = 0.0;
     // Device totals for the unified metrics (journaled).
     std::uint64_t acts = 0;
@@ -67,8 +90,8 @@ struct FuzzTaskResult
 /**
  * Journal payload: the numeric outcome only. The pattern itself is a
  * pure function of the task seed and is regenerated on replay. The
- * kind is "fuzz3" — earlier formats ("fuzz", "fuzz2" without the PRAC
- * counter) are discarded via the kind mismatch.
+ * kind is "fuzz4" — earlier formats ("fuzz" .. "fuzz3" without the
+ * placement flag) are discarded via the kind mismatch.
  */
 std::string
 serializeFuzzTask(const FuzzTaskResult &r)
@@ -76,7 +99,8 @@ serializeFuzzTask(const FuzzTaskResult &r)
     std::ostringstream out;
     out << r.flips << " " << r.dramAccesses << " "
         << encodeDouble(r.simTimeNs) << " " << r.acts << " "
-        << r.trrRefreshes << " " << r.rfmCommands << " " << r.pracAlerts;
+        << r.trrRefreshes << " " << r.rfmCommands << " " << r.pracAlerts
+        << " " << r.unplaceable;
     return out.str();
 }
 
@@ -86,7 +110,8 @@ parseFuzzTask(const std::string &payload, FuzzTaskResult &r)
     std::istringstream in(payload);
     std::string sim_hex;
     if (!(in >> r.flips >> r.dramAccesses >> sim_hex >> r.acts
-          >> r.trrRefreshes >> r.rfmCommands >> r.pracAlerts))
+          >> r.trrRefreshes >> r.rfmCommands >> r.pracAlerts
+          >> r.unplaceable))
         return false;
     auto sim = decodeDouble(sim_hex);
     if (!sim)
@@ -101,7 +126,12 @@ std::uint64_t
 fuzzJournalKey(const SystemSpec &spec, const HammerConfig &cfg,
                const FuzzParams &params, std::uint64_t seed)
 {
-    std::uint64_t key = campaignKey(spec, cfg, seed);
+    // Fold params.refSync into the config the same way fuzzCampaign
+    // applies it, so the journal key matches the campaign actually run.
+    HammerConfig eff = cfg;
+    if (params.refSync)
+        eff.refSync = true;
+    std::uint64_t key = campaignKey(spec, eff, seed);
     key = hashCombine(key, params.numPatterns);
     key = hashCombine(key, params.locationsPerPattern);
     key = hashCombine(key, params.patternParams.minPairs);
@@ -110,6 +140,7 @@ fuzzJournalKey(const SystemSpec &spec, const HammerConfig &cfg,
     key = hashCombine(key, params.patternParams.maxPeriodLog2);
     key = hashCombine(key, params.patternParams.maxFreqLog2);
     key = hashCombine(key, params.patternParams.maxAmpLog2);
+    key = hashCombine(key, params.patternParams.maxRowSpread);
     return key;
 }
 
@@ -121,6 +152,16 @@ fuzzCampaign(const SystemSpec &spec, const HammerConfig &cfg,
 {
     const bool tracing = spec.trace.enabled;
     const std::vector<std::uint8_t> *mask = params.taskMask;
+    if (std::string err = patternParamsError(params.patternParams);
+        !err.empty()) {
+        FuzzResult res;
+        res.failure = FailureCode::InvalidPatternParams;
+        res.failureReason = err;
+        return res;
+    }
+    HammerConfig run_cfg = cfg;
+    if (params.refSync)
+        run_cfg.refSync = true;
     std::shared_ptr<TaskJournal> journal;
     if (!params.checkpointPath.empty()) {
         journal = std::make_shared<TaskJournal>(
@@ -156,8 +197,14 @@ fuzzCampaign(const SystemSpec &spec, const HammerConfig &cfg,
         }
         Ns t0 = sys.now();
         for (unsigned l = 0; l < params.locationsPerPattern; ++l) {
-            HammerLocation loc = session.randomLocation(r.pattern, cfg);
-            HammerOutcome out = session.hammer(r.pattern, loc, cfg);
+            LocationPick pick =
+                session.tryRandomLocation(r.pattern, run_cfg);
+            if (!pick.ok()) {
+                r.unplaceable = 1;
+                break;
+            }
+            HammerOutcome out =
+                session.hammer(r.pattern, *pick.loc, run_cfg);
             r.flips += out.flips;
             r.dramAccesses += out.perf.dramAccesses;
         }
@@ -194,6 +241,7 @@ fuzzCampaign(const SystemSpec &spec, const HammerConfig &cfg,
             continue; // another shard's task: no merge contribution
         FuzzTaskResult &t = tasks[i];
         ++merged;
+        res.unplaceablePatterns += t.unplaceable;
         if (t.flips > 0) {
             ++res.effectivePatterns;
             res.totalFlips += t.flips;
@@ -219,6 +267,11 @@ fuzzCampaign(const SystemSpec &spec, const HammerConfig &cfg,
         metrics->add("campaign.patterns", merged);
     if (stats)
         stats->simNs = res.simTimeNs;
+    if (merged > 0 && res.unplaceablePatterns == merged) {
+        res.failure = FailureCode::PatternUnplaceable;
+        res.failureReason =
+            "every pattern footprint exceeded the bank's row space";
+    }
     return res;
 }
 

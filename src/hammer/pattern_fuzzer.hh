@@ -31,7 +31,7 @@ namespace rho
 {
 
 /** Journal kind tag for fuzzCampaign() checkpoints. */
-inline constexpr const char *FuzzJournalKind = "fuzz3";
+inline constexpr const char *FuzzJournalKind = "fuzz4";
 
 /** Fuzzing campaign sizing. */
 struct FuzzParams
@@ -40,6 +40,15 @@ struct FuzzParams
     unsigned locationsPerPattern = 3;
     unsigned jobs = 0; //!< fuzzCampaign() workers; 0 = hw concurrency
     PatternParams patternParams;
+
+    /**
+     * Synchronize every hammer run with the refresh window
+     * (HammerConfig::refSync): each trial detects the REF period via
+     * the latency side channel and starts just after a boundary. Only
+     * effective on refBlocking platforms (Zen, LPDDR4) — elsewhere the
+     * detector finds no spikes and the trial proceeds unaligned.
+     */
+    bool refSync = false;
 
     /**
      * When non-empty, completed pattern trials are journaled here and
@@ -69,8 +78,20 @@ struct FuzzResult
     std::uint64_t bestPatternFlips = 0;
     std::optional<HammerPattern> bestPattern;
     unsigned effectivePatterns = 0;    //!< patterns with >=1 flip
+    unsigned unplaceablePatterns = 0;  //!< footprint exceeded the bank
     Ns simTimeNs = 0.0;
     std::uint64_t dramAccesses = 0;
+
+    /**
+     * InvalidPatternParams when the campaign was rejected before any
+     * trial ran (degenerate PatternParams ranges), PatternUnplaceable
+     * when every trialled pattern was too wide for the bank; None
+     * otherwise. failureReason carries the human-readable detail.
+     */
+    FailureCode failure = FailureCode::None;
+    std::string failureReason;
+
+    bool ok() const { return failure == FailureCode::None; }
 };
 
 /** Drives serial fuzzing campaigns over one shared HammerSession. */

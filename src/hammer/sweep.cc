@@ -28,6 +28,7 @@ campaignKey(const SystemSpec &spec, const HammerConfig &cfg,
     key = hashCombine(key, cfg.accessBudget);
     key = hashCombine(key, cfg.victimFill);
     key = hashCombine(key, cfg.aggrFill);
+    key = hashCombine(key, cfg.refSync ? 1 : 0);
     // Mitigation configuration: a bypass search runs many campaigns
     // against one checkpoint path that differ only in TRR/RFM/PRAC
     // settings; the key must separate them or a journal recorded under

@@ -177,6 +177,63 @@ TEST(BypassSearch, CheckpointResumeIsTransparent)
         std::remove((base + "." + c.name).c_str());
 }
 
+TEST(BypassSearch, EvolvedEngineBitIdenticalAndResumable)
+{
+    const DimmProfile &d1 = DimmProfile::ddr5Sample();
+    std::vector<MitigationConfig> frontier;
+    for (const auto &c : mitigationFrontier()) {
+        if (c.name == "trr-only" || c.name == "rfm-strict+prac")
+            frontier.push_back(c);
+    }
+    ASSERT_EQ(frontier.size(), 2u);
+
+    BypassParams params;
+    params.engine = BypassEngine::Evolved;
+    params.evo.populationSize = 3;
+    params.evo.generations = 2;
+    params.evo.locationsPerPattern = 1;
+    params.seed = 42;
+
+    BypassParams one = params;
+    one.evo.jobs = 1;
+    BypassParams eight = params;
+    eight.evo.jobs = 8;
+    BypassReport a =
+        bypassSearch(Arch::RaptorLake, d1, searchConfig(), frontier, one);
+    BypassReport b = bypassSearch(Arch::RaptorLake, d1, searchConfig(),
+                                  frontier, eight);
+    expectReportsEqual(a, b);
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+        EXPECT_EQ(a.configs[i].trialsRun, params.evo.trialBudget());
+        EXPECT_EQ(a.configs[i].generationBestFlips,
+                  b.configs[i].generationBestFlips);
+        EXPECT_EQ(a.configs[i].generationBestFlips.size(),
+                  params.evo.generations);
+    }
+
+    // Per-config evolved journals (suffixed like the blind engine's,
+    // but under the evofuzz kind) resume transparently.
+    std::string base = testing::TempDir() + "rho_bypass_evo.journal";
+    for (const auto &c : frontier)
+        std::remove((base + "." + c.name).c_str());
+    BypassParams ckpt = params;
+    ckpt.evo.jobs = 2;
+    ckpt.evo.checkpointPath = base;
+    BypassReport cold = bypassSearch(Arch::RaptorLake, d1, searchConfig(),
+                                     frontier, ckpt);
+    expectReportsEqual(a, cold);
+    for (const auto &c : frontier) {
+        FILE *f = std::fopen((base + "." + c.name).c_str(), "rb");
+        ASSERT_NE(f, nullptr) << "missing evolved journal for " << c.name;
+        std::fclose(f);
+    }
+    BypassReport warm = bypassSearch(Arch::RaptorLake, d1, searchConfig(),
+                                     frontier, ckpt);
+    expectReportsEqual(cold, warm);
+    for (const auto &c : frontier)
+        std::remove((base + "." + c.name).c_str());
+}
+
 TEST(BypassSearch, TrrOnlyBypassedStrictDefensesHold)
 {
     // The headline claim at test scale: fuzzing finds flip-producing
