@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Example: cross-VM RowHammer in the multi-tenant VM layer.
+ *
+ * Walks the whole inter-VM pipeline: carve two tenant partitions,
+ * hammer from the attacker VM at its partition edges, classify flips
+ * that cross the boundary, scrub them through on-die ECC, and
+ * escalate one into a victim guest page-table takeover. Then re-runs
+ * the same attack under each software defense (guard rows, per-tenant
+ * bank partitioning, refresh boosting) to show what each one buys.
+ */
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "exploit/cross_vm.hh"
+#include "hammer/tuned_configs.hh"
+
+using namespace rho;
+
+namespace
+{
+
+CrossVmResult
+runScenario(const char *label, const VmConfig &vm_cfg, bool ecc,
+            double boost, std::uint64_t seed)
+{
+    Arch arch = Arch::RaptorLake;
+    const DimmProfile &dimm = DimmProfile::byId("S4");
+    EccConfig ecc_cfg;
+    ecc_cfg.enabled = ecc;
+    MemorySystem sys(arch, dimm, TrrConfig{}, seed, RfmConfig{},
+                     PracConfig{}, ecc_cfg, boost);
+    BuddyAllocator buddy(sys.mapping().memBytes(), 0.02, seed);
+    VmManager vmm(sys, buddy, vm_cfg);
+    if (!vmm.createTenants(2, 16ull << 20)) {
+        std::printf("%-22s carve failed\n", label);
+        return CrossVmResult{};
+    }
+    HammerSession session(sys, seed);
+
+    CrossVmParams params;
+    params.hammerCfg = rhoConfig(arch, false, 120000);
+    params.vmCfg = vm_cfg;
+    params.hammerRuns = 128; // enough sites for PTE-geometry flips
+    CrossVmResult res = crossVmAttack(session, vmm, params, seed);
+    std::printf("%-22s flips=%4llu cross=%3llu visible=%3llu "
+                "takeover=%s\n",
+                label, (unsigned long long)res.totalFlips,
+                (unsigned long long)res.crossVmFlipsRaw,
+                (unsigned long long)res.crossVmFlipsVisible,
+                res.takeover ? "YES" : "no");
+    return res;
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    std::printf("cross-VM RowHammer: attacker VM 2 vs victim VM 1\n");
+    std::printf("two 16 MiB tenants on RaptorLake + DIMM S4\n\n");
+
+    VmConfig interleaved{VmPlacement::Interleaved, false};
+    VmConfig contiguous{VmPlacement::Contiguous, false};
+    VmConfig guarded{VmPlacement::Guarded, false};
+    VmConfig bankpart{VmPlacement::Contiguous, true};
+
+    CrossVmResult base =
+        runScenario("interleaved", interleaved, false, 1.0, 2024);
+    runScenario("interleaved + ECC", interleaved, true, 1.0, 2024);
+    runScenario("contiguous", contiguous, false, 1.0, 2024);
+    runScenario("guard rows", guarded, false, 1.0, 2024);
+    runScenario("bank partition", bankpart, false, 1.0, 2024);
+    runScenario("refresh boost 4x", interleaved, false, 4.0, 2024);
+
+    if (base.takeover)
+        std::printf("\nundefended interleaved placement: victim guest "
+                    "PT captured via a %s flip at host 0x%llx\n",
+                    base.crossFlips.empty() ? "?"
+                        : (base.crossFlips[0].toOne ? "0->1" : "1->0"),
+                    (unsigned long long)(base.crossFlips.empty()
+                                             ? 0
+                                             : base.crossFlips[0].hpa));
+    std::printf("\nguard rows and bank partitioning remove the shared "
+                "blast radius entirely; ECC and refresh boosting only "
+                "raise the bar.\n");
+    return base.crossVmFlipsRaw > 0 ? 0 : 1;
+}

@@ -47,6 +47,10 @@ enum class FailureCode : std::uint8_t
     // Pattern synthesis / fuzzing (src/hammer pattern engines).
     InvalidPatternParams,   //!< degenerate PatternParams ranges
     PatternUnplaceable,     //!< footprint exceeds the bank's row space
+
+    // Multi-tenant VM layer (src/os/vm + cross-VM exploit paths).
+    CrossVmPlacementFailed, //!< no templated flip lands in the victim
+                            //!< VM's physical partition
 };
 
 /** Stable identifier string (used in logs and machine output). */
@@ -77,6 +81,8 @@ failureCodeName(FailureCode c)
     case FailureCode::InvalidPatternParams:
         return "invalid-pattern-params";
     case FailureCode::PatternUnplaceable: return "pattern-unplaceable";
+    case FailureCode::CrossVmPlacementFailed:
+        return "cross-vm-placement-failed";
     }
     return "unknown";
 }

@@ -10,10 +10,11 @@ MemoryController::MemoryController(AddressMapping mapping,
                                    const DramTiming &timing,
                                    const TrrConfig &trr_cfg,
                                    const RfmConfig &rfm_cfg,
-                                   const PracConfig &prac_cfg)
+                                   const PracConfig &prac_cfg,
+                                   const EccConfig &ecc_cfg)
     : map(std::move(mapping)),
       dev(std::make_unique<Dimm>(profile, timing, trr_cfg, rfm_cfg,
-                                 prac_cfg))
+                                 prac_cfg, ecc_cfg))
 {
     if (map.numBanks() != profile.geom.flatBanks()) {
         fatal("MemoryController: mapping has %u banks, DIMM has %u",

@@ -25,7 +25,8 @@ class MemoryController
     MemoryController(AddressMapping mapping, const DimmProfile &profile,
                      const DramTiming &timing, const TrrConfig &trr_cfg,
                      const RfmConfig &rfm_cfg = RfmConfig{},
-                     const PracConfig &prac_cfg = PracConfig{});
+                     const PracConfig &prac_cfg = PracConfig{},
+                     const EccConfig &ecc_cfg = EccConfig{});
 
     /** Timed access by physical address. */
     DramAccessResult access(PhysAddr pa, Ns now);

@@ -13,8 +13,10 @@ namespace rho
 
 Dimm::Dimm(const DimmProfile &profile, const DramTiming &timing,
            const TrrConfig &trr_cfg, const RfmConfig &rfm_cfg,
-           const PracConfig &prac_cfg)
-    : prof(profile), tim(timing), trr(trr_cfg, profile.geom.flatBanks()),
+           const PracConfig &prac_cfg, const EccConfig &ecc_cfg)
+    : prof(profile), tim(timing), ecc(ecc_cfg),
+      eccDecoder(ecc_cfg.codewordBytes),
+      trr(trr_cfg, profile.geom.flatBanks()),
       rfm(rfm_cfg, profile.geom.flatBanks()),
       prac(prac_cfg, profile.geom.flatBanks()),
       bankOpenRow(profile.geom.flatBanks(), -1),
@@ -24,6 +26,13 @@ Dimm::Dimm(const DimmProfile &profile, const DramTiming &timing,
       bankRows(profile.geom.flatBanks()), nextTrrTick(timing.tREFI),
       halfDoubleWeight(profile.halfDoubleWeight)
 {
+    if (ecc.enabled
+        && (ecc.codewordBytes == 0
+            || profile.geom.rowBytes % ecc.codewordBytes != 0))
+        panic("Dimm: ECC codeword (%u B) must evenly divide the row "
+              "(%u B)",
+              ecc.codewordBytes,
+              static_cast<unsigned>(profile.geom.rowBytes));
 }
 
 void
@@ -214,8 +223,36 @@ Dimm::materializeData(RowState &rs)
     if (!rs.data) {
         rs.data = std::make_unique<std::vector<std::uint8_t>>(
             prof.geom.rowBytes, rs.fill);
+        // The ECC shadow materializes with the data: both start as the
+        // fill pattern, so data implies shadow while ECC is on.
+        if (ecc.enabled) {
+            rs.shadow = std::make_unique<std::vector<std::uint8_t>>(
+                prof.geom.rowBytes, rs.fill);
+        }
     }
     return *rs.data;
+}
+
+/**
+ * Run the SEC decoder over one aligned codeword: the error set is the
+ * per-bit difference between the stored cells and the as-written
+ * shadow. `base` is the codeword's first byte offset within the row.
+ */
+EccDecision
+Dimm::decodeCodeword(const RowState &rs, std::uint32_t base) const
+{
+    std::vector<std::uint32_t> errs;
+    const auto &data = *rs.data;
+    const auto &shadow = *rs.shadow;
+    for (std::uint32_t b = 0; b < ecc.codewordBytes; ++b) {
+        std::uint8_t diff = data[base + b] ^ shadow[base + b];
+        while (diff) {
+            unsigned bit = std::countr_zero(diff);
+            diff &= diff - 1;
+            errs.push_back(b * 8 + bit);
+        }
+    }
+    return eccDecoder.decide(errs);
 }
 
 void
@@ -605,6 +642,10 @@ Dimm::writeBytes(const DramAddr &da, const std::uint8_t *data,
     RowState &rs = rowState(da.bank, da.row, now);
     auto &bytes = materializeData(rs);
     std::copy(data, data + len, bytes.begin() + da.col);
+    // The device recomputes check bits over the written data: the
+    // shadow tracks exactly what was last written.
+    if (rs.shadow)
+        std::copy(data, data + len, rs.shadow->begin() + da.col);
     // The write activates and restores the row.
     resetDisturb(rs, da.bank, da.row, now, ResetSource::DataWrite);
     rs.lastRefresh = now;
@@ -630,6 +671,28 @@ Dimm::readByte(const DramAddr &da, Ns now)
 {
     RowState &rs = rowState(da.bank, da.row, now);
     std::uint8_t v = rs.data ? (*rs.data)[da.col] : rs.fill;
+    // On-die ECC runs on the read path, per codeword. An event is
+    // emitted only when the decoder's action lands in the byte being
+    // returned — i.e. when the controller-visible value differs from
+    // the raw cells.
+    if (ecc.enabled && rs.data) {
+        std::uint32_t base = da.col - (da.col % ecc.codewordBytes);
+        EccDecision d = decodeCodeword(rs, base);
+        if (d.action == EccAction::Corrected
+            || d.action == EccAction::Miscorrected) {
+            std::uint32_t byte = base + (d.targetBit >> 3);
+            if (byte == da.col) {
+                v ^= static_cast<std::uint8_t>(1u << (d.targetBit & 7));
+                RHO_TRACE(tracer, now,
+                          d.action == EccAction::Corrected
+                              ? EventKind::EccCorrected
+                              : EventKind::EccMiscorrect,
+                          0, da.bank, da.row,
+                          static_cast<std::uint64_t>(base) * 8
+                              + d.targetBit);
+            }
+        }
+    }
     // Reading activates and restores the row — but does not re-arm
     // flip latches: the sense amplifiers write back the (flipped)
     // value that was read, not fresh data.
@@ -646,6 +709,8 @@ Dimm::fillRow(std::uint32_t bank, std::uint64_t row, std::uint8_t pattern,
     rs.fill = pattern;
     if (rs.data)
         std::fill(rs.data->begin(), rs.data->end(), pattern);
+    if (rs.shadow)
+        std::fill(rs.shadow->begin(), rs.shadow->end(), pattern);
     resetDisturb(rs, bank, row, now, ResetSource::DataWrite);
     rs.lastRefresh = now;
     // The whole row's data is rewritten: every latch re-arms.
@@ -664,13 +729,49 @@ Dimm::diffRow(std::uint32_t bank, std::uint64_t row, std::uint8_t expected,
     if (!rs.data)
         return out;
     const auto &bytes = *rs.data;
-    for (std::uint32_t b = 0; b < bytes.size(); ++b) {
-        std::uint8_t diff = bytes[b] ^ expected;
-        while (diff) {
-            unsigned bit_idx = std::countr_zero(diff);
-            diff &= diff - 1;
-            bool to_one = bytes[b] & (1u << bit_idx);
-            out.push_back({bank, row, (b << 3) + bit_idx, to_one, now});
+    if (!ecc.enabled) {
+        for (std::uint32_t b = 0; b < bytes.size(); ++b) {
+            std::uint8_t diff = bytes[b] ^ expected;
+            while (diff) {
+                unsigned bit_idx = std::countr_zero(diff);
+                diff &= diff - 1;
+                bool to_one = bytes[b] & (1u << bit_idx);
+                out.push_back({bank, row, (b << 3) + bit_idx, to_one, now});
+            }
+        }
+        return out;
+    }
+    // ECC view: decode each codeword, apply the decoder's (mis)action
+    // to a working copy, then diff the corrected bytes. Single-bit
+    // flips vanish here (and are traced as corrections); multi-bit
+    // patterns either alias past the decoder or get a third bit
+    // corrupted.
+    std::vector<std::uint8_t> cw(ecc.codewordBytes);
+    for (std::uint32_t base = 0; base < bytes.size();
+         base += ecc.codewordBytes) {
+        std::copy(bytes.begin() + base,
+                  bytes.begin() + base + ecc.codewordBytes, cw.begin());
+        EccDecision d = decodeCodeword(rs, base);
+        if (d.action == EccAction::Corrected
+            || d.action == EccAction::Miscorrected) {
+            cw[d.targetBit >> 3] ^=
+                static_cast<std::uint8_t>(1u << (d.targetBit & 7));
+            RHO_TRACE(tracer, now,
+                      d.action == EccAction::Corrected
+                          ? EventKind::EccCorrected
+                          : EventKind::EccMiscorrect,
+                      0, bank, row,
+                      static_cast<std::uint64_t>(base) * 8 + d.targetBit);
+        }
+        for (std::uint32_t b = 0; b < ecc.codewordBytes; ++b) {
+            std::uint8_t diff = cw[b] ^ expected;
+            while (diff) {
+                unsigned bit_idx = std::countr_zero(diff);
+                diff &= diff - 1;
+                bool to_one = cw[b] & (1u << bit_idx);
+                out.push_back(
+                    {bank, row, ((base + b) << 3) + bit_idx, to_one, now});
+            }
         }
     }
     return out;

@@ -49,6 +49,7 @@
 #include <vector>
 
 #include "dram/dimm_profile.hh"
+#include "dram/ecc.hh"
 #include "dram/timing.hh"
 #include "dram/prac.hh"
 #include "dram/rfm.hh"
@@ -100,7 +101,8 @@ class Dimm
   public:
     Dimm(const DimmProfile &profile, const DramTiming &timing,
          const TrrConfig &trr_cfg, const RfmConfig &rfm_cfg = RfmConfig{},
-         const PracConfig &prac_cfg = PracConfig{});
+         const PracConfig &prac_cfg = PracConfig{},
+         const EccConfig &ecc_cfg = EccConfig{});
 
     /** Timed access; advances internal (lazy) refresh machinery. */
     DramAccessResult access(const DramAddr &da, Ns now);
@@ -134,9 +136,19 @@ class Dimm
     /**
      * Compare a row's stored data against the fill pattern it was
      * initialized with; returns the bit offsets that differ.
+     *
+     * With on-die ECC enabled, the comparison runs on the
+     * controller-visible (post-correction) view: per aligned codeword
+     * the decoder corrects single-bit errors (emitting EccCorrected)
+     * and deterministically miscorrects the documented multi-bit
+     * syndromes (EccMiscorrect) — so the returned flips are exactly
+     * the ECC-escaping ones. The raw cell flips stay in flipLog().
      */
     std::vector<FlipRecord> diffRow(std::uint32_t bank, std::uint64_t row,
                                     std::uint8_t expected, Ns now);
+
+    /** On-die ECC configuration this device was built with. */
+    const EccConfig &eccConfig() const { return ecc; }
 
     const DimmProfile &profile() const { return prof; }
     const DramTiming &timing() const { return tim; }
@@ -208,6 +220,14 @@ class Dimm
         std::vector<WeakCell> cells;
         std::vector<bool> flipped;
         std::unique_ptr<std::vector<std::uint8_t>> data;
+        /**
+         * As-written copy of the row (on-die ECC only): what the
+         * device's check bits were computed over. Maintained by the
+         * functional write paths (writeBytes/fillRow), never by the
+         * flip machinery — the shadow-vs-data diff per codeword is
+         * exactly the decoder's error set.
+         */
+        std::unique_ptr<std::vector<std::uint8_t>> shadow;
         std::uint8_t fill = 0;
 
         /**
@@ -297,9 +317,13 @@ class Dimm
     void recomputeMinThreshold(RowState &rs);
     void processTrrTicks(Ns now);
     std::vector<std::uint8_t> &materializeData(RowState &rs);
+    EccDecision decodeCodeword(const RowState &rs,
+                               std::uint32_t base) const;
 
     const DimmProfile &prof;
     DramTiming tim;
+    EccConfig ecc;
+    SecOnDieEcc eccDecoder;
     TrrSampler trr;
     RfmEngine rfm;
     PracEngine prac;

@@ -1,0 +1,24 @@
+#include "dram/ecc.hh"
+
+namespace rho
+{
+
+EccDecision
+SecOnDieEcc::decide(const std::vector<std::uint32_t> &error_bits) const
+{
+    if (error_bits.empty())
+        return {EccAction::Clean, 0};
+    if (error_bits.size() == 1)
+        return {EccAction::Corrected, error_bits[0]};
+
+    std::uint32_t s = 0;
+    for (std::uint32_t bit : error_bits)
+        s ^= syndromeOf(bit);
+    if (s == 0)
+        return {EccAction::Undetected, 0};
+    if (s <= dataBits())
+        return {EccAction::Miscorrected, s - 1};
+    return {EccAction::Detected, 0};
+}
+
+} // namespace rho

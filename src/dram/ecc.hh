@@ -1,0 +1,104 @@
+/**
+ * @file
+ * On-die ECC model: per-codeword single-error-correcting (SEC) code
+ * with deterministic miscorrection, after "Revisiting RowHammer"
+ * (Kim et al.): on-die ECC corrects every single-bit error, but a
+ * multi-bit error pattern whose syndrome collides with a valid
+ * single-bit syndrome is *miscorrected* — the decoder flips a third,
+ * previously correct bit — and a pattern with syndrome zero passes
+ * through undetected.
+ *
+ * The code is a systematic Hamming-style SEC code over one codeword of
+ * `codewordBytes` data bytes. Check bits live outside the modelled
+ * array (the device stores them internally and they are assumed not to
+ * flip; RowHammer templating targets the much larger data array), so
+ * the decoder is fully characterised by the syndrome each *data* bit
+ * produces: bit i has syndrome i+1, nonzero and distinct per bit.
+ *
+ * For an error set E (data-bit indices), the decoder sees the XOR of
+ * the member syndromes and acts deterministically:
+ *
+ *   |E| = 0            -> Clean        (no action)
+ *   |E| = 1            -> Corrected    (the erroneous bit, fixed)
+ *   |E| >= 2, s == 0   -> Undetected   (aliases the zero syndrome)
+ *   |E| >= 2, s <= n   -> Miscorrected (bit s-1 toggled; n = data bits)
+ *   |E| >= 2, s >  n   -> Detected     (check-bit syndrome; passthrough)
+ *
+ * The documented miscorrection set for double errors is therefore
+ * exactly the pairs {i, j} with (i+1) ^ (j+1) <= n — pinned by the
+ * metamorphic tests in tests/test_ecc.cc.
+ *
+ * Correction is a read-path transformation only: the array keeps the
+ * raw (flipped) cells, and the device never writes corrections back —
+ * matching real on-die ECC, where scrubbing is a separate mechanism.
+ */
+
+#ifndef RHO_DRAM_ECC_HH
+#define RHO_DRAM_ECC_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace rho
+{
+
+/** On-die ECC configuration (campaign-identity relevant). */
+struct EccConfig
+{
+    bool enabled = false;
+    /** Data bytes per codeword; rows are covered in aligned chunks. */
+    std::uint32_t codewordBytes = 16;
+};
+
+/** What the decoder did to one codeword. */
+enum class EccAction : std::uint8_t
+{
+    Clean,        //!< no error
+    Corrected,    //!< single error, fixed on the read path
+    Undetected,   //!< multi-bit error aliasing syndrome 0; passthrough
+    Miscorrected, //!< multi-bit error aliasing a data-bit syndrome
+    Detected,     //!< multi-bit error with a check-bit syndrome
+};
+
+/** Decoder verdict for one codeword. */
+struct EccDecision
+{
+    EccAction action = EccAction::Clean;
+    /**
+     * Data-bit index (within the codeword) the decoder flips. For
+     * Corrected this is the erroneous bit (the flip heals it); for
+     * Miscorrected it is a *correct* bit the decoder corrupts. Unused
+     * otherwise.
+     */
+    std::uint32_t targetBit = 0;
+};
+
+/** Pure SEC decoder over one codeword (stateless, unit-testable). */
+class SecOnDieEcc
+{
+  public:
+    explicit SecOnDieEcc(std::uint32_t codeword_bytes)
+        : cwBytes(codeword_bytes)
+    {
+    }
+
+    std::uint32_t codewordBytes() const { return cwBytes; }
+    std::uint32_t dataBits() const { return cwBytes * 8; }
+
+    /** Syndrome of data bit i: i+1, nonzero and distinct per bit. */
+    static constexpr std::uint32_t
+    syndromeOf(std::uint32_t bit)
+    {
+        return bit + 1;
+    }
+
+    /** Decode an error set (data-bit indices within the codeword). */
+    EccDecision decide(const std::vector<std::uint32_t> &error_bits) const;
+
+  private:
+    std::uint32_t cwBytes;
+};
+
+} // namespace rho
+
+#endif // RHO_DRAM_ECC_HH

@@ -51,6 +51,11 @@ campaignKey(const SystemSpec &spec, const HammerConfig &cfg,
     key = hashCombine(key, spec.prac.enabled ? 1 : 0);
     key = hashCombine(key, spec.prac.threshold);
     key = hashCombine(key, spec.prac.aboSlots);
+    // On-die ECC and refresh boosting change which flips a campaign
+    // observes, so they separate journal identities too.
+    key = hashCombine(key, spec.ecc.enabled ? 1 : 0);
+    key = hashCombine(key, spec.ecc.codewordBytes);
+    key = hashCombine(key, traceBits(spec.refreshBoost));
     return key;
 }
 

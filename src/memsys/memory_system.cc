@@ -12,7 +12,8 @@ SystemSpec::instantiate(std::uint64_t seed) const
 {
     if (!dimm)
         panic("SystemSpec::instantiate: no DIMM profile set");
-    MemorySystem sys(arch, *dimm, trr, seed, rfm, prac);
+    MemorySystem sys(arch, *dimm, trr, seed, rfm, prac, ecc,
+                     refreshBoost);
     if (referenceRowStore)
         sys.dimm().setRowStore(RowStoreKind::Reference);
     sys.setCpuModel(cpuModel);
@@ -22,17 +23,20 @@ SystemSpec::instantiate(std::uint64_t seed) const
 MemorySystem::MemorySystem(Arch arch, const DimmProfile &dimm,
                            const TrrConfig &trr_cfg, std::uint64_t seed,
                            const RfmConfig &rfm_cfg,
-                           const PracConfig &prac_cfg)
+                           const PracConfig &prac_cfg,
+                           const EccConfig &ecc_cfg, double refresh_boost)
     : MemorySystem(arch, dimm,
                    mappingFor(arch, dimm.geom.sizeGib(), dimm.geom.ranks),
-                   trr_cfg, seed, rfm_cfg, prac_cfg)
+                   trr_cfg, seed, rfm_cfg, prac_cfg, ecc_cfg,
+                   refresh_boost)
 {
 }
 
 MemorySystem::MemorySystem(Arch arch, const DimmProfile &dimm,
                            AddressMapping mapping, const TrrConfig &trr_cfg,
                            std::uint64_t seed, const RfmConfig &rfm_cfg,
-                           const PracConfig &prac_cfg)
+                           const PracConfig &prac_cfg,
+                           const EccConfig &ecc_cfg, double refresh_boost)
     : archId(arch), params(&ArchParams::forArch(arch))
 {
     // The platform clamps the DIMM to its supported data rate. The
@@ -61,9 +65,18 @@ MemorySystem::MemorySystem(Arch arch, const DimmProfile &dimm,
     // Shallow-controller platforms expose REF stalls to the core even
     // on DDR4 parts (hammer/ref_sync relies on the spikes).
     timing.refBlocking = timing.refBlocking || archRefBlocking(arch);
+    // Refresh boosting: the controller issues REF this many times
+    // faster, so both the tREFI tick (TRR/RFM clocks, REF blocking)
+    // and the tREFW all-rows sweep shrink together.
+    if (refresh_boost <= 0.0)
+        panic("MemorySystem: refresh boost must be positive");
+    if (refresh_boost != 1.0) {
+        timing.tREFI /= refresh_boost;
+        timing.tREFW /= refresh_boost;
+    }
     mc = std::make_unique<MemoryController>(std::move(mapping), dimm,
                                             timing, trr_cfg, rfm_cfg,
-                                            prac_cfg);
+                                            prac_cfg, ecc_cfg);
     (void)seed;
 }
 

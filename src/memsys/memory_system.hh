@@ -36,12 +36,17 @@ class MemorySystem : public MemoryBackend
      * @param dimm DIMM profile (geometry, timing grade, weak cells).
      * @param trr_cfg mitigation configuration.
      * @param seed randomness for the core model.
+     * @param ecc_cfg on-die ECC model (off by default).
+     * @param refresh_boost divide tREFI/tREFW by this factor — the
+     *        "refresh boosting" software defense (1.0 = stock rate).
      */
     MemorySystem(Arch arch, const DimmProfile &dimm,
                  const TrrConfig &trr_cfg = TrrConfig{},
                  std::uint64_t seed = 1,
                  const RfmConfig &rfm_cfg = RfmConfig{},
-                 const PracConfig &prac_cfg = PracConfig{});
+                 const PracConfig &prac_cfg = PracConfig{},
+                 const EccConfig &ecc_cfg = EccConfig{},
+                 double refresh_boost = 1.0);
 
     /**
      * Build with an explicit mapping (used by reverse-engineering
@@ -51,7 +56,9 @@ class MemorySystem : public MemoryBackend
                  AddressMapping mapping, const TrrConfig &trr_cfg,
                  std::uint64_t seed,
                  const RfmConfig &rfm_cfg = RfmConfig{},
-                 const PracConfig &prac_cfg = PracConfig{});
+                 const PracConfig &prac_cfg = PracConfig{},
+                 const EccConfig &ecc_cfg = EccConfig{},
+                 double refresh_boost = 1.0);
 
     // MemoryBackend
     Ns dramAccess(PhysAddr pa, Ns now) override;
@@ -165,6 +172,13 @@ struct SystemSpec
     TrrConfig trr{};
     RfmConfig rfm{};
     PracConfig prac{};
+    EccConfig ecc{};     //!< on-die ECC model (campaign identity)
+    /**
+     * Refresh boosting defense: the refresh clock (tREFI and the tREFW
+     * sweep) runs this many times faster than stock. Part of campaign
+     * identity; 1.0 is a plain machine.
+     */
+    double refreshBoost = 1.0;
     TraceConfig trace{}; //!< campaign workers trace per-task when enabled
 
     /**

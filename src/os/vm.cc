@@ -1,0 +1,392 @@
+#include "os/vm.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace rho
+{
+
+namespace
+{
+constexpr std::uint64_t rowBlockOrder = 1; // 8 KiB = one row (linear maps)
+constexpr std::uint64_t rowBlockBytes = pageBytes << rowBlockOrder;
+} // namespace
+
+const char *
+vmPlacementName(VmPlacement p)
+{
+    switch (p) {
+      case VmPlacement::Contiguous:
+        return "contiguous";
+      case VmPlacement::Interleaved:
+        return "interleaved";
+      case VmPlacement::Guarded:
+        return "guarded";
+    }
+    return "?";
+}
+
+VmManager::VmManager(MemorySystem &sys_, BuddyAllocator &buddy_,
+                     VmConfig cfg_)
+    : sys(sys_), buddy(buddy_), cfg(cfg_), s2(sys_, buddy_)
+{
+}
+
+bool
+VmManager::createTenants(unsigned count, std::uint64_t bytes_each)
+{
+    if (numTenants != 0)
+        panic("VmManager: tenants already created");
+    if (count == 0 || bytes_each == 0 || bytes_each % pageBytes != 0)
+        panic("VmManager: bad tenant geometry");
+
+    partitions.assign(count, {});
+    bool ok;
+    if (cfg.bankPartition)
+        ok = carveBankPartition(count, bytes_each);
+    else if (cfg.placement == VmPlacement::Interleaved)
+        ok = carveInterleaved(count, bytes_each);
+    else
+        ok = carveContiguous(count, bytes_each,
+                             cfg.placement == VmPlacement::Guarded);
+    if (!ok) {
+        releaseCarve();
+        return false;
+    }
+
+    // All partitions are carved; now install the stage-2 identity-by-
+    // index mappings. The stage-2 PT pages come from what the buddy
+    // still holds (hypervisor memory), never from a tenant partition.
+    for (unsigned t = 0; t < count; ++t) {
+        VmId vm = static_cast<VmId>(t + 1);
+        const auto &frames = partitions[t];
+        for (std::uint64_t i = 0; i < frames.size(); ++i) {
+            std::uint64_t gpa = i * pageBytes;
+            if (!s2.mapPage(stage2Pid(vm), gpa, frames[i], true)) {
+                releaseCarve();
+                return false;
+            }
+            owners[frames[i] / pageBytes] = vm;
+            hostToGpa[frames[i] / pageBytes] = gpa;
+            RHO_TRACE(sys.tracer(), sys.now(), EventKind::VmMapped, 0, vm,
+                      i, frames[i] / pageBytes);
+        }
+    }
+
+    freeFrames.assign(count, {});
+    for (unsigned t = 0; t < count; ++t)
+        for (std::uint64_t i = 0; i < partitions[t].size(); ++i)
+            freeFrames[t].insert(i);
+    numTenants = count;
+    return true;
+}
+
+bool
+VmManager::carveContiguous(unsigned count, std::uint64_t bytes_each,
+                           bool guarded)
+{
+    constexpr std::uint64_t blockBytes = pageBytes
+                                         << BuddyAllocator::maxOrder;
+    for (unsigned t = 0; t < count; ++t) {
+        std::uint64_t got = 0;
+        while (got < bytes_each) {
+            auto blk = buddy.alloc(BuddyAllocator::maxOrder);
+            if (!blk)
+                return false;
+            carvedBlocks.emplace_back(*blk, BuddyAllocator::maxOrder);
+            std::uint64_t take =
+                std::min(blockBytes, bytes_each - got);
+            for (std::uint64_t off = 0; off < take; off += pageBytes)
+                partitions[t].push_back(*blk + off);
+            got += take;
+        }
+        // Hold a guard block between this tenant and the next. The
+        // buddy allocates lowest-address-first, so every frame of
+        // tenant t sits below the guard, and every frame of tenant
+        // t+1 above it: >= 4 MiB of host-address separation.
+        if (guarded && t + 1 < count) {
+            auto g = buddy.alloc(BuddyAllocator::maxOrder);
+            if (!g)
+                return false;
+            carvedBlocks.emplace_back(*g, BuddyAllocator::maxOrder);
+            guardBlocks.push_back(*g);
+        }
+    }
+    return true;
+}
+
+bool
+VmManager::carveInterleaved(unsigned count, std::uint64_t bytes_each)
+{
+    // Row-sized blocks dealt round-robin: consecutive rows alternate
+    // owners, so nearly every tenant row has another tenant's rows
+    // within the blast radius.
+    std::uint64_t rounds = (bytes_each + rowBlockBytes - 1)
+                           / rowBlockBytes;
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+        for (unsigned t = 0; t < count; ++t) {
+            if (partitions[t].size() * pageBytes >= bytes_each)
+                continue;
+            auto blk = buddy.alloc(rowBlockOrder);
+            if (!blk)
+                return false;
+            carvedBlocks.emplace_back(*blk, rowBlockOrder);
+            std::uint64_t take =
+                std::min(rowBlockBytes,
+                         bytes_each - partitions[t].size() * pageBytes);
+            for (std::uint64_t off = 0; off < take; off += pageBytes)
+                partitions[t].push_back(*blk + off);
+        }
+    }
+    return true;
+}
+
+std::uint64_t
+VmManager::bankSignature(PhysAddr block) const
+{
+    // The set of banks the lines of an aligned row-sized block decode
+    // into. Two blocks' bank sets are cosets of the same subgroup (the
+    // GF(2) span of the bank functions restricted to in-block bits),
+    // hence identical or disjoint — so hashing the signature assigns
+    // whole cosets, and distinct signatures mean disjoint bank sets.
+    const AddressMapping &map = sys.mapping();
+    std::vector<std::uint32_t> banks;
+    for (std::uint64_t off = 0; off < rowBlockBytes;
+         off += cacheLineBytes)
+        banks.push_back(map.decode(block + off).bank);
+    std::sort(banks.begin(), banks.end());
+    banks.erase(std::unique(banks.begin(), banks.end()), banks.end());
+    std::uint64_t sig = 0x5160f00dULL;
+    for (std::uint32_t b : banks)
+        sig = hashCombine(sig, b);
+    return sig;
+}
+
+bool
+VmManager::carveBankPartition(unsigned count, std::uint64_t bytes_each)
+{
+    // Draw row-sized blocks and assign each to the tenant its bank-set
+    // signature hashes to; blocks hashing to a full tenant are parked
+    // and returned to the buddy afterwards.
+    std::vector<std::pair<PhysAddr, unsigned>> rejected;
+    std::vector<std::uint64_t> have(count, 0);
+    unsigned done = 0;
+    while (done < count) {
+        auto blk = buddy.alloc(rowBlockOrder);
+        if (!blk) {
+            for (auto &[a, o] : rejected)
+                buddy.free(a, o);
+            return false;
+        }
+        unsigned t = static_cast<unsigned>(bankSignature(*blk) % count);
+        if (have[t] >= bytes_each) {
+            rejected.emplace_back(*blk, rowBlockOrder);
+            continue;
+        }
+        carvedBlocks.emplace_back(*blk, rowBlockOrder);
+        std::uint64_t take =
+            std::min(rowBlockBytes, bytes_each - have[t]);
+        for (std::uint64_t off = 0; off < take; off += pageBytes)
+            partitions[t].push_back(*blk + off);
+        have[t] += take;
+        if (have[t] >= bytes_each)
+            ++done;
+    }
+    for (auto &[a, o] : rejected)
+        buddy.free(a, o);
+    return true;
+}
+
+void
+VmManager::releaseCarve()
+{
+    for (auto &[a, o] : carvedBlocks)
+        buddy.free(a, o);
+    carvedBlocks.clear();
+    guardBlocks.clear();
+    partitions.clear();
+    owners.clear();
+    hostToGpa.clear();
+}
+
+const std::vector<PhysAddr> &
+VmManager::framesOf(VmId vm) const
+{
+    if (vm == 0 || vm > numTenants)
+        panic("VmManager::framesOf: no such tenant");
+    return partitions[vm - 1];
+}
+
+std::uint64_t
+VmManager::gpaBytes(VmId vm) const
+{
+    return framesOf(vm).size() * pageBytes;
+}
+
+VmId
+VmManager::ownerOf(PhysAddr hpa) const
+{
+    auto it = owners.find(hpa / pageBytes);
+    return it == owners.end() ? 0 : it->second;
+}
+
+std::optional<PhysAddr>
+VmManager::gpaToHpa(VmId vm, PhysAddr gpa)
+{
+    auto hpa = s2.translate(stage2Pid(vm), gpa);
+    if (!hpa)
+        return std::nullopt;
+    return *hpa;
+}
+
+std::optional<PhysAddr>
+VmManager::hpaToGpa(VmId vm, PhysAddr hpa) const
+{
+    auto it = hostToGpa.find(hpa / pageBytes);
+    if (it == hostToGpa.end())
+        return std::nullopt;
+    auto own = owners.find(hpa / pageBytes);
+    if (own == owners.end() || own->second != vm)
+        return std::nullopt;
+    return it->second + (hpa & (pageBytes - 1));
+}
+
+std::optional<std::uint64_t>
+VmManager::allocGuestFrame(VmId vm)
+{
+    if (vm == 0 || vm > numTenants)
+        panic("VmManager::allocGuestFrame: no such tenant");
+    auto &fl = freeFrames[vm - 1];
+    if (fl.empty())
+        return std::nullopt;
+    std::uint64_t frame = *fl.begin();
+    fl.erase(fl.begin());
+    return frame * pageBytes;
+}
+
+void
+VmManager::freeGuestFrame(VmId vm, std::uint64_t gpa_frame)
+{
+    if (vm == 0 || vm > numTenants)
+        panic("VmManager::freeGuestFrame: no such tenant");
+    freeFrames[vm - 1].insert(gpa_frame / pageBytes);
+}
+
+bool
+VmManager::vmMapPage(VmId vm, std::uint64_t pid, VirtAddr va,
+                     std::uint64_t gpa_frame, bool writable)
+{
+    auto key = std::make_tuple(vm, pid, va & ~((pageBytes << 9) - 1));
+    auto it = guestPtPages.find(key);
+    std::uint64_t pt_gpa;
+    if (it != guestPtPages.end()) {
+        pt_gpa = it->second;
+    } else {
+        auto got = allocGuestFrame(vm);
+        if (!got)
+            return false;
+        pt_gpa = *got;
+        auto pt_hpa = gpaToHpa(vm, pt_gpa);
+        if (!pt_hpa)
+            return false;
+        // Fresh tables are zeroed through the DRAM data path, like the
+        // stage-1 manager does for host PT pages.
+        for (unsigned i = 0; i < 512; ++i)
+            s2.writeQword(*pt_hpa + i * 8, 0);
+        guestPtPages.emplace(key, pt_gpa);
+    }
+    std::uint64_t index = (va >> 12) & 0x1ff;
+    auto pte_hpa = gpaToHpa(vm, pt_gpa + index * 8);
+    if (!pte_hpa)
+        return false;
+    // Guest PTEs store guest frame numbers; stage-2 resolves them at
+    // walk time.
+    s2.writeQword(*pte_hpa, pte::make(gpa_frame, writable));
+    return true;
+}
+
+std::optional<PhysAddr>
+VmManager::vmTranslate(VmId vm, std::uint64_t pid, VirtAddr va)
+{
+    auto pt_gpa = vmPtPageGpa(vm, pid, va);
+    if (!pt_gpa)
+        return std::nullopt;
+    std::uint64_t index = (va >> 12) & 0x1ff;
+    auto pte_hpa = gpaToHpa(vm, *pt_gpa + index * 8);
+    if (!pte_hpa)
+        return std::nullopt;
+    std::uint64_t e = s2.readQword(*pte_hpa);
+    if (!(e & pte::presentBit))
+        return std::nullopt;
+    return gpaToHpa(vm, pte::frameOf(e) + (va & (pageBytes - 1)));
+}
+
+std::optional<std::uint64_t>
+VmManager::vmPtPageGpa(VmId vm, std::uint64_t pid, VirtAddr va) const
+{
+    auto it = guestPtPages.find(
+        std::make_tuple(vm, pid, va & ~((pageBytes << 9) - 1)));
+    if (it == guestPtPages.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::optional<PhysAddr>
+VmManager::vmPtPageHpa(VmId vm, std::uint64_t pid, VirtAddr va)
+{
+    auto gpa = vmPtPageGpa(vm, pid, va);
+    if (!gpa)
+        return std::nullopt;
+    return gpaToHpa(vm, *gpa);
+}
+
+GuestSteerResult
+VmManager::steerGuestPtPage(VmId vm, std::uint64_t pid,
+                            std::uint64_t target_gpa_page,
+                            std::uint64_t backing_gpa_frame)
+{
+    GuestSteerResult res;
+    if (vm == 0 || vm > numTenants)
+        panic("VmManager::steerGuestPtPage: no such tenant");
+    auto &fl = freeFrames[vm - 1];
+    std::uint64_t target_frame = target_gpa_page / pageBytes;
+    if (!fl.count(target_frame)) {
+        res.code = FailureCode::MassageFailed;
+        res.failureReason = "target guest frame is not free";
+        return res;
+    }
+
+    // Hold every free frame below the target so the lowest-first
+    // guest allocator's next pick is exactly the target.
+    std::vector<std::uint64_t> held;
+    for (auto it = fl.begin(); it != fl.end() && *it < target_frame;) {
+        held.push_back(*it);
+        it = fl.erase(it);
+    }
+    res.allocationsBurned = static_cast<unsigned>(held.size());
+    res.timeNs = (static_cast<Ns>(held.size()) + 1.0) * allocCostNs;
+
+    // A fresh spray VA forces a new guest PT page; its table frame is
+    // drawn from the massaged allocator.
+    VirtAddr spray = nextSprayVa;
+    nextSprayVa += pageBytes << 9;
+    bool mapped = vmMapPage(vm, pid, spray, backing_gpa_frame, true);
+
+    for (std::uint64_t f : held)
+        fl.insert(f);
+
+    auto landed = vmPtPageGpa(vm, pid, spray);
+    if (!mapped || !landed || *landed != target_gpa_page) {
+        res.code = FailureCode::MassageFailed;
+        res.failureReason = "guest PT page missed the target frame";
+        return res;
+    }
+    res.success = true;
+    res.ptPageGpa = *landed;
+    res.sprayBase = spray;
+    return res;
+}
+
+} // namespace rho

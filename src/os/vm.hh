@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Lightweight multi-tenant VM layer over the OS substrate.
+ *
+ * Each tenant VM owns a guest-physical address space (GPA, a dense
+ * [0, partitionBytes) range) backed by a partition of host-physical
+ * frames carved from the BuddyAllocator. Second-stage translation
+ * (GPA -> HPA) is stacked on the existing PageTableManager: the
+ * stage-2 leaf tables live in simulated DRAM under per-VM hypervisor
+ * pids, so RowHammer flips can genuinely corrupt stage-2 entries.
+ * Guest page tables in turn live in *guest* frames and store GPA
+ * frame numbers; a guest MMU walk reads the PTE through DRAM (and
+ * through on-die ECC when enabled), then stage-2 translates both the
+ * PTE location and the target frame.
+ *
+ * Placement policies (the defense surface, after the inter-VM
+ * RowHammer evaluation framework in PAPERS.md):
+ *
+ *  - Contiguous: each tenant gets max-order (4 MiB) blocks,
+ *    lowest-address first. Tenants touch at partition boundaries, so
+ *    boundary rows are cross-VM hammerable.
+ *  - Interleaved: tenants take turns drawing order-1 (8 KiB = one
+ *    row on the linear mappings) blocks — maximal row adjacency
+ *    between tenants, the worst case for isolation.
+ *  - Guarded: Contiguous plus a held max-order guard block between
+ *    consecutive tenants. A 4 MiB guard spans >= 16 rows in every
+ *    bank on the modelled geometries, far beyond the +-2 blast
+ *    radius, so the policy claims zero cross-VM flips.
+ *
+ * Orthogonally, per-tenant bank partitioning (VmConfig::bankPartition)
+ * carves order-1 blocks by their bank-set signature: the banks an
+ * aligned 8 KiB block decodes into form cosets of the GF(2) closure
+ * of the in-block bank-function bits, so two blocks' bank sets are
+ * either identical or disjoint, and hashing the signature to a tenant
+ * gives tenants pairwise-disjoint bank sets. Disturbance never leaves
+ * the hammered bank, so this defense also claims zero cross-VM flips.
+ */
+
+#ifndef RHO_OS_VM_HH
+#define RHO_OS_VM_HH
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/failure.hh"
+#include "os/page_table.hh"
+
+namespace rho
+{
+
+/** Tenant identifier; 0 is the hypervisor / unowned memory. */
+using VmId = std::uint16_t;
+
+/** How tenant partitions are carved from host memory. */
+enum class VmPlacement
+{
+    Contiguous, //!< max-order blocks per tenant, tenants adjacent
+    Interleaved, //!< row-sized blocks round-robin across tenants
+    Guarded,    //!< Contiguous + held guard block between tenants
+};
+
+/** VM-layer configuration (defense toggles live here + SystemSpec). */
+struct VmConfig
+{
+    VmPlacement placement = VmPlacement::Contiguous;
+    /**
+     * Per-tenant bank partitioning: carve by bank-set signature so
+     * tenants never share a DRAM bank. Overrides the row-geometry
+     * aspect of `placement`.
+     */
+    bool bankPartition = false;
+};
+
+/** Stable display name ("contiguous", "interleaved", "guarded"). */
+const char *vmPlacementName(VmPlacement p);
+
+/** Outcome of steering a guest PT page onto a chosen guest frame. */
+struct GuestSteerResult
+{
+    bool success = false;
+    FailureCode code = FailureCode::None;
+    std::string failureReason;
+    std::uint64_t ptPageGpa = 0; //!< where the guest PT page landed
+    VirtAddr sprayBase = 0;      //!< first guest VA the table covers
+    unsigned allocationsBurned = 0;
+    Ns timeNs = 0.0;
+};
+
+/**
+ * The hypervisor: carves tenant partitions, owns stage-2 translation,
+ * and models the guest-side paging the cross-VM exploit attacks.
+ */
+class VmManager
+{
+  public:
+    VmManager(MemorySystem &sys, BuddyAllocator &buddy,
+              VmConfig cfg = VmConfig{});
+
+    /**
+     * Carve `count` tenant partitions of `bytes_each` host bytes
+     * (page-granular) according to the configured placement, then
+     * install the stage-2 GPA->HPA mappings (emitting one VmMapped
+     * event per frame). Tenants are VmIds 1..count. All partitions
+     * are carved in one call; a second call is rejected.
+     *
+     * @return false (with no partitions) when host memory or stage-2
+     *         table allocation is exhausted.
+     */
+    [[nodiscard]] bool createTenants(unsigned count,
+                                     std::uint64_t bytes_each);
+
+    unsigned tenantCount() const { return numTenants; }
+    const VmConfig &config() const { return cfg; }
+
+    /**
+     * True when the configuration claims to *prevent* cross-VM flips
+     * outright (Guarded placement or bank partitioning) — the claim
+     * the tenant-isolation property test falsifies against.
+     */
+    bool
+    claimsNoCrossVmFlips() const
+    {
+        return cfg.bankPartition || cfg.placement == VmPlacement::Guarded;
+    }
+
+    /** Host frames of one tenant, in GPA order (frame i backs GPA
+     *  i * pageBytes). */
+    const std::vector<PhysAddr> &framesOf(VmId vm) const;
+
+    /** Guest-physical size of a tenant's partition. */
+    std::uint64_t gpaBytes(VmId vm) const;
+
+    /** Owning tenant of a host address (0 = hypervisor/unowned). */
+    VmId ownerOf(PhysAddr hpa) const;
+
+    /**
+     * Stage-2 walk through simulated DRAM: hammered stage-2 entries
+     * take effect. @return host address, if mapped.
+     */
+    std::optional<PhysAddr> gpaToHpa(VmId vm, PhysAddr gpa);
+
+    /** Inverse lookup from the installed (uncorrupted) mapping. */
+    std::optional<PhysAddr> hpaToGpa(VmId vm, PhysAddr hpa) const;
+
+    // ---- Guest paging -----------------------------------------------
+
+    /**
+     * Guest frame allocator: lowest-GPA-first free list per tenant.
+     * @return GPA of the allocated frame.
+     */
+    std::optional<std::uint64_t> allocGuestFrame(VmId vm);
+    void freeGuestFrame(VmId vm, std::uint64_t gpa_frame);
+
+    /**
+     * Install a guest translation va -> gpa_frame for (vm, pid).
+     * Allocates the guest PT page (from the tenant's own frames) on
+     * first touch of a 2 MiB region; PTEs store GPA frame numbers and
+     * are written through DRAM at their stage-2-translated host
+     * addresses.
+     */
+    [[nodiscard]] bool vmMapPage(VmId vm, std::uint64_t pid, VirtAddr va,
+                                 std::uint64_t gpa_frame, bool writable);
+
+    /**
+     * Guest MMU walk: PTE read through DRAM (and on-die ECC), then
+     * stage-2 translation of the target. @return host address.
+     */
+    std::optional<PhysAddr> vmTranslate(VmId vm, std::uint64_t pid,
+                                        VirtAddr va);
+
+    /** GPA of the guest PT page covering (vm, pid, va), if any. */
+    std::optional<std::uint64_t> vmPtPageGpa(VmId vm, std::uint64_t pid,
+                                             VirtAddr va) const;
+
+    /** Host address of that PT page (via the installed stage-2 map). */
+    std::optional<PhysAddr> vmPtPageHpa(VmId vm, std::uint64_t pid,
+                                        VirtAddr va);
+
+    /**
+     * Massage the guest frame allocator so the next guest PT page
+     * lands exactly on `target_gpa_page`: hold every free frame below
+     * the target, map a fresh spray VA (PTE -> backing_gpa_frame) to
+     * trigger the PT allocation, then release the held frames.
+     */
+    GuestSteerResult steerGuestPtPage(VmId vm, std::uint64_t pid,
+                                      std::uint64_t target_gpa_page,
+                                      std::uint64_t backing_gpa_frame);
+
+    /** Stage-2 table manager (introspection; hypervisor pids). */
+    PageTableManager &stage2() { return s2; }
+
+    /** Per-allocation modelled cost (hypercall + fault path). */
+    static constexpr Ns allocCostNs = 3000.0;
+
+  private:
+    std::uint64_t
+    stage2Pid(VmId vm) const
+    {
+        return 0xF0000000ULL + vm;
+    }
+
+    bool carveContiguous(unsigned count, std::uint64_t bytes_each,
+                         bool guarded);
+    bool carveInterleaved(unsigned count, std::uint64_t bytes_each);
+    bool carveBankPartition(unsigned count, std::uint64_t bytes_each);
+    void releaseCarve();
+    std::uint64_t bankSignature(PhysAddr block) const;
+
+    MemorySystem &sys;
+    BuddyAllocator &buddy;
+    VmConfig cfg;
+    PageTableManager s2;
+    unsigned numTenants = 0;
+
+    /** Tenant host frames in GPA order; index vm-1. */
+    std::vector<std::vector<PhysAddr>> partitions;
+    /** Allocation bookkeeping for releaseCarve on failure. */
+    std::vector<std::pair<PhysAddr, unsigned>> carvedBlocks;
+    /** Guard blocks held by the hypervisor (never mapped or freed). */
+    std::vector<PhysAddr> guardBlocks;
+    /** host page index -> owner. */
+    std::unordered_map<std::uint64_t, VmId> owners;
+    /** host page index -> GPA page (per the installed stage-2 map). */
+    std::unordered_map<std::uint64_t, std::uint64_t> hostToGpa;
+    /** Free guest frames (frame index), lowest-first; index vm-1. */
+    std::vector<std::set<std::uint64_t>> freeFrames;
+    /** (vm, pid, 2 MiB-aligned va) -> GPA of the guest PT page. */
+    std::map<std::tuple<VmId, std::uint64_t, VirtAddr>, std::uint64_t>
+        guestPtPages;
+    VirtAddr nextSprayVa = 0x600000000000ULL;
+};
+
+} // namespace rho
+
+#endif // RHO_OS_VM_HH

@@ -37,6 +37,10 @@ eventKindName(EventKind k)
       case EventKind::PracAlert: return "prac_alert";
       case EventKind::AboRefresh: return "abo_refresh";
       case EventKind::MitigationStall: return "mitigation_stall";
+      case EventKind::VmMapped: return "vm_mapped";
+      case EventKind::EccCorrected: return "ecc_corrected";
+      case EventKind::EccMiscorrect: return "ecc_miscorrect";
+      case EventKind::CrossVmFlip: return "cross_vm_flip";
     }
     return "unknown";
 }
@@ -52,6 +56,7 @@ categoryName(TraceCategory c)
       case CatFlip: return "flip";
       case CatFault: return "fault";
       case CatPhase: return "phase";
+      case CatVm: return "vm";
       default: return "mixed";
     }
 }

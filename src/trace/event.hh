@@ -78,11 +78,19 @@ enum class EventKind : std::uint8_t
     PracAlert,       //!< a=bank, b=row that crossed, c=counter value
     AboRefresh,      //!< a=bank, b=row serviced during Alert Back-Off
     MitigationStall, //!< a=bank, c=stall ns bits, flags=0 RFM / 1 ABO
+
+    // ---- VM layer / on-die ECC (categories Vm and Flip; appended so
+    // ---- committed goldens keep their kind bytes) --------------------
+    VmMapped,        //!< a=vm id, b=guest frame (GPA), c=host frame
+    EccCorrected,    //!< a=bank, b=row, c=corrected bit offset in row
+    EccMiscorrect,   //!< a=bank, b=row, c=toggled bit offset in row
+    CrossVmFlip,     //!< a=bank, b=row, c=bit off | attacker vm << 48,
+                     //!< flags=victim vm id
 };
 
 /** Number of distinct event kinds (array sizing). */
 constexpr unsigned numEventKinds =
-    static_cast<unsigned>(EventKind::MitigationStall) + 1;
+    static_cast<unsigned>(EventKind::CrossVmFlip) + 1;
 
 /** Why a row's accumulated disturbance was dropped (DisturbReset). */
 enum class ResetSource : std::uint8_t
@@ -133,8 +141,9 @@ enum TraceCategory : std::uint32_t
     CatFlip = 1u << 4,
     CatFault = 1u << 5,
     CatPhase = 1u << 6,
+    CatVm = 1u << 7,      //!< VM-layer mapping / boundary crossings
 
-    CatAll = 0x7fu,
+    CatAll = 0xffu,
     /** Everything except per-op CPU and per-ACT disturb chatter. */
     CatDefault = CatAll & ~(CatCpu | CatDisturb),
 };
@@ -171,7 +180,12 @@ categoryOf(EventKind k)
       case EventKind::BitFlip:
       case EventKind::FlipSuppressed:
       case EventKind::SpuriousRefresh:
+      case EventKind::EccCorrected:
+      case EventKind::EccMiscorrect:
         return CatFlip;
+      case EventKind::VmMapped:
+      case EventKind::CrossVmFlip:
+        return CatVm;
       case EventKind::FaultPhaseEnter:
       case EventKind::FaultPhaseExit:
       case EventKind::FaultDelivered:

@@ -17,6 +17,7 @@
 #include "hammer/tuned_configs.hh"
 #include "mapping/mapping_presets.hh"
 #include "os/buddy_allocator.hh"
+#include "os/vm.hh"
 
 using namespace rho;
 
@@ -443,6 +444,66 @@ TEST(CpuEngineProperties, FuzzedKernelsReplayIdentically)
                 ASSERT_GE(blocked_mem.accesses[i].second,
                           blocked_mem.accesses[i - 1].second)
                     << what << " access " << i;
+            }
+        }
+    }
+}
+
+/**
+ * Stage-2 translation properties, fuzzed over placements and seeds:
+ * within each tenant the installed GPA -> HPA map is a bijection onto
+ * that tenant's frames (10k random addresses round-trip through
+ * gpaToHpa / hpaToGpa with offsets preserved), and across tenants no
+ * host page is ever reachable from two VMs (no cross-VM aliasing).
+ */
+TEST(VmStage2Properties, BijectionPerVmAndNoCrossVmAliasing)
+{
+    const VmPlacement placements[] = {VmPlacement::Contiguous,
+                                      VmPlacement::Interleaved,
+                                      VmPlacement::Guarded};
+    for (VmPlacement placement : placements) {
+        for (bool bank_part : {false, true}) {
+            std::uint64_t seed = hashCombine(
+                static_cast<std::uint64_t>(placement), bank_part);
+            MemorySystem sys(Arch::RaptorLake, DimmProfile::byId("S2"),
+                             TrrConfig{}, seed);
+            BuddyAllocator buddy(sys.mapping().memBytes(), 0.02, seed);
+            VmManager vmm(sys, buddy, VmConfig{placement, bank_part});
+            ASSERT_TRUE(vmm.createTenants(3, 4ull << 20));
+
+            std::map<std::uint64_t, VmId> host_owner;
+            Rng rng(seed);
+            for (VmId vm = 1; vm <= 3; ++vm) {
+                const std::uint64_t bytes = vmm.gpaBytes(vm);
+                std::set<std::uint64_t> host_pages;
+                for (int i = 0; i < 10000; ++i) {
+                    PhysAddr gpa = rng.uniformInt(0, bytes - 1);
+                    auto hpa = vmm.gpaToHpa(vm, gpa);
+                    ASSERT_TRUE(hpa.has_value())
+                        << "unmapped gpa " << gpa << " vm " << vm;
+                    // Offset-preserving, owner-consistent, invertible.
+                    EXPECT_EQ(*hpa & (pageBytes - 1),
+                              gpa & (pageBytes - 1));
+                    EXPECT_EQ(vmm.ownerOf(*hpa), vm);
+                    auto back = vmm.hpaToGpa(vm, *hpa);
+                    ASSERT_TRUE(back.has_value());
+                    EXPECT_EQ(*back, gpa);
+                    host_pages.insert(pageOf(*hpa));
+                    auto [it, fresh] =
+                        host_owner.emplace(pageOf(*hpa), vm);
+                    EXPECT_EQ(it->second, vm)
+                        << "host page aliased across VMs";
+                    (void)fresh;
+                }
+                // The sampled host pages all lie in the frame list —
+                // the codomain of the installed stage-2 map.
+                const auto &frames = vmm.framesOf(vm);
+                std::set<PhysAddr> frame_set;
+                for (PhysAddr f : frames)
+                    frame_set.insert(pageOf(f));
+                for (std::uint64_t hp : host_pages)
+                    EXPECT_TRUE(frame_set.count(hp))
+                        << "host page outside the tenant's partition";
             }
         }
     }

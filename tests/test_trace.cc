@@ -33,9 +33,13 @@
 
 #include <gtest/gtest.h>
 
+#include "dram/dimm.hh"
+#include "dram/timing.hh"
+#include "exploit/cross_vm.hh"
 #include "hammer/pattern_fuzzer.hh"
 #include "hammer/sweep.hh"
 #include "hammer/tuned_configs.hh"
+#include "os/vm.hh"
 #include "trace/chrome_trace.hh"
 #include "trace/golden.hh"
 #include "trace/metrics.hh"
@@ -155,6 +159,69 @@ ddr5MitigationTrace(std::uint64_t seed, std::uint32_t categories,
     session.hammer(evading, session.randomLocation(evading, cfg), cfg);
 
     sys.attachTracer(nullptr);
+    EXPECT_EQ(tracer.dropped(), 0u);
+    return tracer.events();
+}
+
+/**
+ * Inter-VM scenario: the pinned cross-VM campaign (two interleaved
+ * tenants, on-die ECC on) whose stream covers the VM-boundary event
+ * kinds — VmMapped for every stage-2 install, CrossVmFlip for every
+ * flip that lands in another tenant's partition, EccCorrected on the
+ * controller-visible scrub.
+ */
+std::vector<TraceEvent>
+interVmTrace(unsigned jobs)
+{
+    SystemSpec spec(Arch::RaptorLake, DimmProfile::byId("S4"));
+    spec.ecc.enabled = true;
+    spec.trace.enabled = true;
+    spec.trace.categories = CatVm | CatFlip | CatPhase;
+    CrossVmCampaignParams params;
+    params.attack.hammerCfg = rhoConfig(Arch::RaptorLake, false, 120000);
+    params.attack.vmCfg = VmConfig{VmPlacement::Interleaved, false};
+    params.attack.bytesPerTenant = 4ull << 20;
+    params.attack.hammerRuns = 10;
+    params.trials = 2;
+    params.jobs = jobs;
+    std::vector<TraceEvent> trace;
+    crossVmCampaign(spec, params, 77, nullptr, &trace);
+    return trace;
+}
+
+/**
+ * ECC-miscorrection scenario: a synthetic dense weak-cell field makes
+ * multi-bit codewords common, so the read-path decoder exercises the
+ * EccMiscorrect path alongside routine corrections.
+ */
+std::vector<TraceEvent>
+eccMiscorrectTrace()
+{
+    DimmProfile p = DimmProfile::byId("S4");
+    p.id = "dense";
+    p.weakCellsPerRow = 40.0;
+    p.hcLogMean = std::log(1500.0);
+    p.hcLogSigma = 0.2;
+    p.hcMin = 800;
+    TrrConfig trr;
+    trr.enabled = false;
+    EccConfig ecc;
+    ecc.enabled = true;
+    Dimm d(p, DramTiming::ddr4(2666), trr, RfmConfig{}, PracConfig{},
+           ecc);
+    Tracer tracer(TraceConfig{true, CatFlip, std::size_t{1} << 20});
+    d.setTracer(&tracer);
+    for (std::uint64_t r = 4998; r <= 5006; ++r)
+        d.fillRow(0, r, 0xA5, 0.0);
+    Ns now = 1.0;
+    for (int i = 0; i < 3000; ++i) {
+        now += d.access({0, 5000, 0}, now).latency;
+        now += d.access({0, 5002, 0}, now).latency;
+        now += d.access({0, 5004, 0}, now).latency;
+    }
+    for (std::uint64_t r : {4998, 4999, 5001, 5003, 5005, 5006})
+        d.diffRow(0, r, 0xA5, 1e9);
+    d.setTracer(nullptr);
     EXPECT_EQ(tracer.dropped(), 0u);
     return tracer.events();
 }
@@ -435,6 +502,32 @@ TEST(GoldenTrace, Ddr5MitigationScenario)
     checkGolden("ddr5_mitigations.trace", events);
 }
 
+TEST(GoldenTrace, InterVmScenario)
+{
+    auto events = interVmTrace(1);
+    // The scenario must pin the VM-boundary kinds, or the golden would
+    // not guard the multi-tenant subsystem.
+    std::set<EventKind> kinds;
+    for (const TraceEvent &e : events)
+        kinds.insert(e.kind);
+    EXPECT_TRUE(kinds.count(EventKind::VmMapped));
+    EXPECT_TRUE(kinds.count(EventKind::BitFlip));
+    EXPECT_TRUE(kinds.count(EventKind::CrossVmFlip));
+    EXPECT_TRUE(kinds.count(EventKind::EccCorrected));
+    checkGolden("inter_vm.trace", events);
+}
+
+TEST(GoldenTrace, EccMiscorrectScenario)
+{
+    auto events = eccMiscorrectTrace();
+    std::set<EventKind> kinds;
+    for (const TraceEvent &e : events)
+        kinds.insert(e.kind);
+    EXPECT_TRUE(kinds.count(EventKind::EccCorrected));
+    EXPECT_TRUE(kinds.count(EventKind::EccMiscorrect));
+    checkGolden("ecc_miscorrect.trace", events);
+}
+
 // ---------------------------------------------------------------------
 // Determinism: byte-identical streams across runs and --jobs
 // ---------------------------------------------------------------------
@@ -474,6 +567,15 @@ TEST(TraceDeterminism, FuzzCampaignTraceIndependentOfJobs)
         std::vector<TraceEvent> got;
         fuzzCampaign(spec, cfg, params, 33, nullptr, nullptr, &got);
         EXPECT_EQ(goldenSerialize(got), goldenSerialize(ref))
+            << "jobs " << jobs;
+    }
+}
+
+TEST(TraceDeterminism, InterVmTraceIndependentOfJobs)
+{
+    std::string ref = goldenSerialize(interVmTrace(1));
+    for (unsigned jobs : {2u, 8u}) {
+        EXPECT_EQ(goldenSerialize(interVmTrace(jobs)), ref)
             << "jobs " << jobs;
     }
 }
@@ -625,6 +727,78 @@ TEST(CausalInvariants, PracAlertsCrossThresholdAndAboRidesAlert)
     EXPECT_GT(alerts, 0u);
     // Every alert services at least the crossing row.
     EXPECT_GE(abo_refreshes, alerts);
+}
+
+namespace
+{
+
+/**
+ * Replay the on-die-ECC read path: a correction can only ever undo a
+ * raw flip that the stream has already committed — every EccCorrected
+ * (bank, row, bit) must be preceded (per task) by a BitFlip of exactly
+ * that cell; every EccMiscorrect requires a multi-bit error, i.e. at
+ * least two prior raw flips in the toggled bit's codeword; and every
+ * CrossVmFlip restates a prior BitFlip whose owner differs from the
+ * hammering tenant. `checked` counts the ECC/VM events verified.
+ */
+void
+replayCorrectionInvariant(const std::vector<TraceEvent> &events,
+                          std::uint32_t codeword_bits,
+                          unsigned &checked)
+{
+    using Cell = std::tuple<std::uint16_t, std::uint32_t, std::uint64_t,
+                            std::uint64_t>; // tid, bank, row, bit
+    std::set<Cell> flipped;
+    for (const TraceEvent &e : events) {
+        switch (e.kind) {
+          case EventKind::BitFlip:
+            flipped.insert({e.tid, e.a, e.b, e.c});
+            break;
+          case EventKind::EccCorrected:
+            EXPECT_TRUE(flipped.count({e.tid, e.a, e.b, e.c}))
+                << "correction of a never-flipped cell, bank " << e.a
+                << " row " << e.b << " bit " << e.c << " at " << e.when;
+            ++checked;
+            break;
+          case EventKind::EccMiscorrect: {
+            std::uint64_t cw = e.c / codeword_bits;
+            unsigned raw_in_cw = 0;
+            for (std::uint64_t bit = cw * codeword_bits;
+                 bit < (cw + 1) * codeword_bits; ++bit)
+                raw_in_cw += flipped.count({e.tid, e.a, e.b, bit});
+            EXPECT_GE(raw_in_cw, 2u)
+                << "miscorrection without a multi-bit error, bank "
+                << e.a << " row " << e.b << " bit " << e.c;
+            ++checked;
+            break;
+          }
+          case EventKind::CrossVmFlip: {
+            std::uint64_t bit = e.c & ((1ULL << 48) - 1);
+            EXPECT_TRUE(flipped.count({e.tid, e.a, e.b, bit}))
+                << "cross-VM flip without a raw flip, bank " << e.a
+                << " row " << e.b << " bit " << bit;
+            EXPECT_NE(static_cast<std::uint64_t>(e.flags), e.c >> 48)
+                << "tenant reported as its own victim at " << e.when;
+            ++checked;
+            break;
+          }
+          default:
+            break;
+        }
+    }
+}
+
+} // namespace
+
+TEST(CausalInvariants, EccCorrectionsTargetPriorRawFlips)
+{
+    unsigned checked = 0;
+    replayCorrectionInvariant(interVmTrace(1), 16 * 8, checked);
+    EXPECT_GT(checked, 0u);
+    unsigned dense_checked = 0;
+    replayCorrectionInvariant(eccMiscorrectTrace(), 16 * 8,
+                              dense_checked);
+    EXPECT_GT(dense_checked, 0u);
 }
 
 TEST(CausalInvariants, PhaseBracketsAreBalanced)
